@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Decentralized eigenvector computation via chaotic power iteration.
+
+Reproduces the §2.4/§4.1.3 application at demo scale: a Watts–Strogatz
+overlay (ring of 4 nearest neighbors, links rewired with probability
+0.01) defines both the communication graph and the computational task —
+finding the dominant eigenvector of its column-normalized adjacency
+matrix with the Lubachevsky–Mitra asynchronous message-passing scheme.
+The ground truth is computed offline with scipy; the metric is the angle
+between the distributed estimate and the truth.
+
+Chaotic iteration is the noisiest of the paper's three applications
+(single runs wobble), so — like the paper, which averages 10 runs — this
+demo averages each strategy over three independent seeds.
+
+Run:  python examples/chaotic_power_iteration.py   (~40 s)
+
+The settings follow §4.2: "A = 10, C = 10 ... is the best in gossip
+learning and chaotic iteration".
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_averaged
+from repro.experiments.report import time_to_threshold_speedups
+
+N = 300
+PERIODS = 250
+REPEATS = 3
+CHECKPOINT_FRACTIONS = (0.125, 0.25, 0.5, 1.0)
+
+
+def run(strategy, spend_rate=None, capacity=None):
+    config = ExperimentConfig(
+        app="chaotic-iteration",
+        strategy=strategy,
+        spend_rate=spend_rate,
+        capacity=capacity,
+        n=N,
+        periods=PERIODS,
+        seed=1,
+    )
+    return run_averaged(config, repeats=REPEATS)
+
+
+def main() -> None:
+    print(
+        f"chaotic power iteration on a Watts-Strogatz overlay "
+        f"(N={N}, ring degree 4, rewire p=0.01)"
+    )
+    print(
+        f"angle to the true dominant eigenvector, averaged over {REPEATS} runs\n"
+    )
+    results = {}
+    for label, strategy, a, c in (
+        ("proactive", "proactive", None, None),
+        ("generalized A=5 C=10", "generalized", 5, 10),
+        ("randomized A=10 C=10", "randomized", 10, 10),
+    ):
+        results[label] = run(strategy, a, c)
+
+    horizon = PERIODS * 172.8
+    header = "strategy".ljust(24) + "".join(
+        f"{int(f * PERIODS):>9d}r" for f in CHECKPOINT_FRACTIONS
+    )
+    print(header)
+    print("-" * len(header))
+    for label, result in results.items():
+        cells = "".join(
+            f"{result.metric.value_at(horizon * f):10.2e}"
+            for f in CHECKPOINT_FRACTIONS
+        )
+        print(label.ljust(24) + cells)
+
+    curves = {label: result.metric for label, result in results.items()}
+    speedups = time_to_threshold_speedups(curves)
+    print("\ntime to reach the proactive baseline's final accuracy:")
+    for label, speedup in speedups.items():
+        rendered = f"{speedup:.2f}x" if speedup else "n/a"
+        print(f"  {label:24s} {rendered}")
+    print(
+        "\nmessage budget (msgs/node/round): "
+        + ", ".join(
+            f"{label}={result.messages_per_node_per_period:.2f}"
+            for label, result in results.items()
+        )
+    )
+    print(
+        "\nThe reactive component forwards fresh values immediately instead "
+        "of sitting\non them until the next round — the same number of "
+        "messages converges faster."
+    )
+
+
+if __name__ == "__main__":
+    main()

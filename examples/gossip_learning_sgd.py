@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Gossip learning with real SGD models walking through the network.
+
+The paper's evaluation simulates only model *ages* (the metric needs
+nothing more). This example exercises the full machine-learning path the
+framework supports: every node holds one example of a synthetic linear
+regression problem, models perform random walks, and each visited node
+applies one SGD step — Algorithm 1, running over the token account
+service.
+
+The demo compares the proactive baseline against the randomized token
+account and reports, over time, (a) the walk-speed metric of the paper
+(eq. 6) and (b) the actual mean-squared error of the best walking model
+— showing that faster walks translate into faster learning.
+
+Run:  python examples/gossip_learning_sgd.py
+"""
+
+import random
+
+from repro.apps.gossip_learning import GossipLearningApp, GossipLearningMetric
+from repro.apps.sgd import LinearRegressionModel, make_synthetic_regression
+from repro.core.protocol import TokenAccountNode
+from repro.core.strategies import make_strategy
+from repro.overlay.kout import random_kout_overlay
+from repro.overlay.peer_sampling import PeerSampler
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.randomness import RandomStreams
+
+N = 150
+PERIOD = 172.8
+TRANSFER = 1.728
+ROUNDS = 120
+DIMENSION = 5
+
+
+def build_and_run(strategy_name, spend_rate, capacity, examples, seed=7):
+    streams = RandomStreams(seed)
+    sim = Simulator()
+    network = Network(sim, TRANSFER)
+    overlay = random_kout_overlay(N, 20, streams.stream("overlay"))
+    sampler = PeerSampler(overlay, network, streams.stream("sampler"))
+    strategy = make_strategy(strategy_name, spend_rate=spend_rate, capacity=capacity)
+    protocol_rng = streams.stream("protocol")
+    phase_rng = streams.stream("phases")
+    nodes = []
+    for i in range(N):
+        app = GossipLearningApp(example=examples[i], learning_rate=0.08)
+        node = TokenAccountNode(
+            node_id=i,
+            sim=sim,
+            network=network,
+            peer_sampler=sampler,
+            strategy=strategy,
+            app=app,
+            period=PERIOD,
+            rng=protocol_rng,
+        )
+        node.process.phase = phase_rng.random() * PERIOD
+        network.register(node)
+        nodes.append(node)
+    for node in nodes:
+        node.start()
+
+    metric = GossipLearningMetric(nodes, TRANSFER)
+    checkpoints = []
+    for fraction in (0.25, 0.5, 0.75, 1.0):
+        horizon = ROUNDS * PERIOD * fraction
+        sim.run(until=horizon)
+        best_app = max((n.app for n in nodes), key=lambda app: app.age)
+        mse = (
+            best_app.model.mean_squared_error(examples)
+            if best_app.model is not None
+            else float("nan")
+        )
+        checkpoints.append((horizon, metric(horizon), best_app.age, mse))
+    return checkpoints
+
+
+def main() -> None:
+    rng = random.Random(3)
+    examples, true_weights = make_synthetic_regression(
+        N, dimension=DIMENSION, rng=rng, noise=0.05
+    )
+    baseline_mse = LinearRegressionModel(DIMENSION).mean_squared_error(examples)
+    print(f"synthetic regression: {N} nodes, one example each, d={DIMENSION}")
+    print(f"untrained model MSE: {baseline_mse:.3f}\n")
+
+    for label, strategy, a, c in (
+        ("proactive baseline", "proactive", None, None),
+        ("randomized token account (A=10, C=20)", "randomized", 10, 20),
+    ):
+        print(label)
+        print(f"  {'hours':>6s} {'walk speed (eq.6)':>18s} {'best age':>9s} {'best MSE':>9s}")
+        for horizon, speed, age, mse in build_and_run(strategy, a, c, examples):
+            print(f"  {horizon / 3600:6.1f} {speed:18.3f} {age:9d} {mse:9.4f}")
+        print()
+    print(
+        "The token account walks visit an order of magnitude more nodes in\n"
+        "the same time with the same per-node message budget, so the model\n"
+        "sees far more SGD steps and its error drops correspondingly faster."
+    )
+
+
+if __name__ == "__main__":
+    main()

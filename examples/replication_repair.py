@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Token-budgeted replication repair after a correlated failure burst.
+
+The paper's related-work section (§5) points out that decentralized
+storage repair is classically either *reactive* (re-replicate the moment
+a loss is detected — fast, but bursty and prone to stalling once repair
+traffic dies out) or *proactive* (fixed repair budget — smooth but slow
+after correlated failures), and suggests token accounts as the natural
+hybrid: "Controlling the available repair-budget with the help of a token
+account method is a promising approach in this area as well."
+
+This demo builds that system: 250 nodes storing 250 objects at
+replication factor 3; at hour 8 a correlated burst permanently destroys
+15 % of the nodes. Watch the fraction of under-replicated objects over
+time for three repair policies.
+
+Run:  python examples/replication_repair.py
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+N = 250
+PERIODS = 100
+BURST = (0.3, 0.32)  # fractions of the run: a ~1-hour failure window
+
+
+def run(label, strategy, spend_rate=None, capacity=None):
+    config = ExperimentConfig(
+        app="replication-repair",
+        strategy=strategy,
+        spend_rate=spend_rate,
+        capacity=capacity,
+        n=N,
+        periods=PERIODS,
+        seed=11,
+        fail_fraction=0.15,
+        fail_window=BURST,
+        sample_interval=86.4,
+    )
+    return label, run_experiment(config)
+
+
+def main() -> None:
+    burst_round = int(BURST[0] * PERIODS)
+    print(
+        f"{N} nodes, {N} objects at replication 3; 15% of nodes fail "
+        f"permanently\naround round {burst_round} of {PERIODS} "
+        f"(correlated burst); detection delay = one round\n"
+    )
+    results = [
+        run("proactive (fixed repair rate)", "proactive"),
+        run("randomized token account (A=5, C=10)", "randomized", 5, 10),
+        run("pure reactive (repair on detection)", "reactive"),
+    ]
+
+    sample_rounds = [20, 30, 33, 34, 36, 40, 50, 70, 100]
+    header = "under-replicated fraction at round:".ljust(38) + "".join(
+        f"{r:>7d}" for r in sample_rounds
+    )
+    print(header)
+    print("-" * len(header))
+    for label, result in results:
+        cells = [
+            f"{result.metric.value_at(r * 172.8):7.3f}" for r in sample_rounds
+        ]
+        print(label.ljust(38) + "".join(cells))
+
+    print("\nbudget and outcome:")
+    for label, result in results:
+        print(
+            f"  {label:38s} msgs/node/round={result.messages_per_node_per_period:.3f}  "
+            f"residual damage={result.metric.final():.3f}"
+        )
+    print(
+        "\nThe token account repairs nearly as fast as the reactive policy "
+        "(its account\nbankrolls an immediate response) but, unlike it, always "
+        "finishes the job: when\nrepair cascades die out, accounts fill up and "
+        "proactive repair takes over."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e .` uses pyproject.toml; this file only enables
+`python setup.py develop` in fully offline environments.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""repro — Token Account Algorithms (Danner & Jelasity, ICDCS 2018).
+
+A production-quality reproduction of *"Token Account Algorithms: The
+Best of the Proactive and Reactive Worlds"*: a traffic-shaping service
+for decentralized applications that spans the design space between
+proactive (fixed-rate) and reactive (event-triggered) communication,
+bounding bursts like a token bucket while approaching reactive-speed
+convergence.
+
+Quickstart::
+
+    from repro import ExperimentConfig, run_experiment
+
+    result = run_experiment(ExperimentConfig(
+        app="push-gossip",
+        strategy="randomized", spend_rate=10, capacity=20,
+        n=500, periods=100, seed=7,
+    ))
+    print(result.summary())
+
+Package map:
+
+* :mod:`repro.core` — the token account framework (strategies,
+  Algorithm 4, burst-bound auditing, §4.3 mean-field model);
+* :mod:`repro.sim` — deterministic discrete-event engine;
+* :mod:`repro.overlay` — k-out and Watts–Strogatz overlays, peer
+  sampling;
+* :mod:`repro.churn` — availability traces and the synthetic
+  STUNner-like smartphone trace;
+* :mod:`repro.apps` — gossip learning, push gossip, chaotic power
+  iteration;
+* :mod:`repro.metrics` — the paper's performance metrics and collectors;
+* :mod:`repro.experiments` — scenario assembly, figure harnesses,
+  parameter sweeps, reporting.
+"""
+
+from repro.core import (
+    Application,
+    GeneralizedTokenAccount,
+    MeanFieldModel,
+    ProactiveStrategy,
+    PureReactiveStrategy,
+    RandomizedTokenAccount,
+    RateLimitAuditor,
+    SimpleTokenAccount,
+    Strategy,
+    TokenAccount,
+    TokenAccountNode,
+    burst_bound,
+    make_strategy,
+    rand_round,
+    randomized_equilibrium,
+)
+from repro.experiments import ExperimentConfig, run_experiment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Application",
+    "ExperimentConfig",
+    "GeneralizedTokenAccount",
+    "MeanFieldModel",
+    "ProactiveStrategy",
+    "PureReactiveStrategy",
+    "RandomizedTokenAccount",
+    "RateLimitAuditor",
+    "SimpleTokenAccount",
+    "Strategy",
+    "TokenAccount",
+    "TokenAccountNode",
+    "burst_bound",
+    "make_strategy",
+    "rand_round",
+    "randomized_equilibrium",
+    "run_experiment",
+    "__version__",
+]

@@ -1,0 +1,60 @@
+"""The paper's three demonstrator applications (§2, §3.2).
+
+* :mod:`repro.apps.gossip_learning` — models performing random walks,
+  aged by SGD updates at every visited node (§2.2); metric eq. (6).
+* :mod:`repro.apps.push_gossip` — freshest-update broadcast with a
+  continuous injection stream (§2.3); metric eq. (7); pull-on-rejoin in
+  the churn scenario (§4.1.2).
+* :mod:`repro.apps.chaotic_iteration` — Lubachevsky–Mitra chaotic
+  asynchronous power iteration (§2.4); angle-to-eigenvector metric.
+* :mod:`repro.apps.sgd` — a small real SGD substrate (linear models on
+  synthetic data) demonstrating that the gossip learning plumbing can
+  carry actual models, not only ages.
+"""
+
+from repro.apps.chaotic_iteration import (
+    ChaoticIterationApp,
+    ChaoticIterationMetric,
+    build_chaotic_apps,
+)
+from repro.apps.gossip_learning import (
+    GossipLearningApp,
+    GossipLearningMetric,
+    ModelToken,
+)
+from repro.apps.push_gossip import (
+    PULL_REQUEST,
+    PushGossipApp,
+    PushGossipMetric,
+    PushPullGossipApp,
+    UpdateInjector,
+)
+from repro.apps.replication import (
+    FailureDetector,
+    PermanentFailureInjector,
+    ReplicationApp,
+    ReplicationMetric,
+    place_objects,
+)
+from repro.apps.sgd import LinearRegressionModel, make_synthetic_regression
+
+__all__ = [
+    "ChaoticIterationApp",
+    "ChaoticIterationMetric",
+    "GossipLearningApp",
+    "GossipLearningMetric",
+    "LinearRegressionModel",
+    "ModelToken",
+    "PULL_REQUEST",
+    "PushGossipApp",
+    "PushGossipMetric",
+    "PushPullGossipApp",
+    "FailureDetector",
+    "PermanentFailureInjector",
+    "ReplicationApp",
+    "ReplicationMetric",
+    "place_objects",
+    "UpdateInjector",
+    "build_chaotic_apps",
+    "make_synthetic_regression",
+]

@@ -1,0 +1,333 @@
+"""Token-budgeted replication repair — the §5 research direction, built.
+
+The paper's related-work section points at decentralized replication as a
+natural home for token accounts: the classic approaches are either purely
+*reactive* (re-replicate the moment a replica is lost — fast but bursty,
+exactly the failure mode Sit et al. [14] observed) or purely *proactive*
+(replicate on a fixed budget — smooth but slow after correlated
+failures), with hybrids like Duminuco et al. [15] switching modes.
+"Controlling the available repair-budget with the help of a token account
+method is a promising approach in this area as well."
+
+This module embeds replication repair in the token account framework:
+
+* **State** — each node holds a set of object replicas, each with a
+  *holder view* (the peers believed to also hold the object).
+* ``createMessage`` — offer a replica of the node's most under-replicated
+  held object (with its merged holder view) to a random peer; ``None``
+  when every held object meets its target (idle nodes push no data).
+* ``updateState`` — adopt a new replica (useful), or merge holder views
+  for an already-held object (useful only if the view changed).
+* **Failure detection** — when a node fails permanently, peers that
+  believe they co-hold an object with it are notified after a detection
+  delay (the §2.1 model assumes neighbor failures are detected). The
+  notification removes the failed node from holder views and — this is
+  the reactive hook — triggers the node's Algorithm 4 reactive path as if
+  a useful message had arrived, so repair urgency translates into
+  token-bounded repair traffic.
+
+The repair *budget* is thus governed entirely by the strategy: purely
+proactive repairs once per round, purely reactive repairs instantly and
+unboundedly on detection, and the token account strategies sit in
+between — responsive after failures, but never exceeding the §3.4 burst
+bound.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.api import Application
+from repro.core.protocol import TokenAccountNode
+from repro.sim.engine import Simulator
+
+#: payload: (object id, believed holder ids)
+ReplicaPayload = Tuple[int, FrozenSet[int]]
+
+
+class ReplicationApp(Application):
+    """Per-node replica store and repair logic.
+
+    Parameters
+    ----------
+    target_replication:
+        Desired number of live holders per object (``R``).
+    reactive_detection:
+        Treat a co-holder failure notification like a useful incoming
+        message (triggering the strategy's reactive response). This is
+        the mechanism that makes repair *responsive*; disabling it leaves
+        only the proactive schedule (for the ablation).
+    """
+
+    def __init__(self, target_replication: int, reactive_detection: bool = True):
+        super().__init__()
+        if target_replication < 1:
+            raise ValueError(
+                f"target replication must be >= 1, got {target_replication}"
+            )
+        self.target = target_replication
+        self.reactive_detection = reactive_detection
+        #: object id -> believed holders (always includes this node)
+        self.holder_views: Dict[int, Set[int]] = {}
+        self.adopted = 0
+        self.duplicates = 0
+        self.detections = 0
+        self._rotation = 0
+
+    # ------------------------------------------------------------------
+    def hold(self, object_id: int, holders: Set[int]) -> None:
+        """Install a replica at setup time (initial placement)."""
+        assert self.node is not None
+        self.holder_views[object_id] = set(holders) | {self.node.node_id}
+
+    def deficit(self, object_id: int) -> int:
+        """How many holders the object is believed to be missing."""
+        return self.target - len(self.holder_views[object_id])
+
+    def most_urgent_object(self) -> Optional[int]:
+        """A held object furthest below target, or ``None`` if all met.
+
+        Ties rotate (deterministically) over the tied objects: a node
+        holding several equally deficient replicas must not let one of
+        them monopolize its repair slots, or the rest starve until the
+        first one's view converges.
+        """
+        worst_deficit = 0
+        tied: List[int] = []
+        for object_id in sorted(self.holder_views):
+            deficit = self.deficit(object_id)
+            if deficit > worst_deficit:
+                worst_deficit = deficit
+                tied = [object_id]
+            elif deficit == worst_deficit and worst_deficit > 0:
+                tied.append(object_id)
+        if not tied:
+            return None
+        choice = tied[self._rotation % len(tied)]
+        self._rotation += 1
+        return choice
+
+    def _anti_entropy_object(self) -> Optional[int]:
+        """Round-robin over held objects when none is under target.
+
+        Keeps holder views converging even in a healthy system, so that
+        later failures are detected by as many co-holders as possible.
+        """
+        if not self.holder_views:
+            return None
+        held = sorted(self.holder_views)
+        choice = held[self._rotation % len(held)]
+        self._rotation += 1
+        return choice
+
+    # ------------------------------------------------------------------
+    # The paper's two methods
+    # ------------------------------------------------------------------
+    def create_message(self) -> Optional[ReplicaPayload]:
+        object_id = self.most_urgent_object()
+        if object_id is None:
+            object_id = self._anti_entropy_object()
+        if object_id is None:
+            return None  # the node holds nothing at all
+        return (object_id, frozenset(self.holder_views[object_id]))
+
+    def update_state(self, payload: Optional[ReplicaPayload], sender: int) -> bool:
+        if payload is None:
+            return False
+        assert self.node is not None
+        object_id, holders = payload
+        if object_id in self.holder_views:
+            view = self.holder_views[object_id]
+            before = len(view)
+            view |= holders
+            self.duplicates += 1
+            return len(view) != before
+        if len(holders) >= self.target:
+            # A healthy object's anti-entropy message: adopting it would
+            # inflate replication beyond the target (and waste the repair
+            # budget); not holding it, we have no view to merge either.
+            self.duplicates += 1
+            return False
+        # The object is under target: adopt the replica, become a holder.
+        self.holder_views[object_id] = set(holders) | {self.node.node_id}
+        self.adopted += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Failure detection hook (driven by the FailureDetector service)
+    # ------------------------------------------------------------------
+    def on_coholder_failed(self, failed_node: int) -> None:
+        """Remove a failed peer from every holder view; maybe react."""
+        assert self.node is not None
+        affected = False
+        for view in self.holder_views.values():
+            if failed_node in view:
+                view.discard(failed_node)
+                affected = True
+        if not affected:
+            return
+        self.detections += 1
+        if self.reactive_detection and self.node.online:
+            # Failure news is as useful as a fresh message: let the
+            # strategy decide how many repair messages it buys.
+            self.node.react(useful=True)
+
+
+# ----------------------------------------------------------------------
+# Substrate services
+# ----------------------------------------------------------------------
+def place_objects(
+    apps: Sequence[ReplicationApp],
+    n_objects: int,
+    target_replication: int,
+    rng: random.Random,
+) -> Dict[int, Set[int]]:
+    """Place ``n_objects`` on random distinct nodes, R replicas each.
+
+    Returns the ground-truth placement ``{object_id: holder node ids}``
+    and installs the replicas (with consistent initial holder views).
+    """
+    if target_replication > len(apps):
+        raise ValueError(
+            f"cannot place {target_replication} replicas on {len(apps)} nodes"
+        )
+    placement: Dict[int, Set[int]] = {}
+    node_ids = range(len(apps))
+    for object_id in range(n_objects):
+        holders = set(rng.sample(node_ids, target_replication))
+        placement[object_id] = holders
+        for node_id in holders:
+            apps[node_id].hold(object_id, holders)
+    return placement
+
+
+class FailureDetector:
+    """Delivers co-holder failure notifications after a fixed delay.
+
+    The §2.1 model assumes "the failure of a neighbor is detected by the
+    node"; the delay models the detection timeout. Notifications go to
+    every online node that *believes* it shares an object with the failed
+    node (consulting beliefs, not ground truth — a node that never heard
+    of the replica cannot detect its loss).
+    """
+
+    def __init__(self, sim: Simulator, nodes: Sequence[TokenAccountNode],
+                 delay: float):
+        if delay < 0:
+            raise ValueError(f"detection delay must be >= 0, got {delay}")
+        self.sim = sim
+        self.nodes = nodes
+        self.delay = delay
+        self.notifications = 0
+
+    def node_failed(self, failed_id: int) -> None:
+        """Schedule detection at every believed co-holder."""
+        self.sim.schedule(self.delay, self._notify_all, failed_id)
+
+    def _notify_all(self, failed_id: int) -> None:
+        for node in self.nodes:
+            if node.node_id == failed_id or not node.online:
+                continue
+            app = node.app
+            assert isinstance(app, ReplicationApp)
+            if any(failed_id in view for view in app.holder_views.values()):
+                self.notifications += 1
+                app.on_coholder_failed(failed_id)
+
+
+class PermanentFailureInjector:
+    """Kills a fraction of nodes permanently at random times.
+
+    Unlike the churn trace (§4.1), failed nodes never return — their
+    replicas are gone, which is what makes repair necessary. Failures are
+    spread uniformly over ``[start, end]``; a burst can be modeled with a
+    narrow window.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nodes: Sequence[TokenAccountNode],
+        detector: FailureDetector,
+        fail_fraction: float,
+        rng: random.Random,
+        start: float,
+        end: float,
+    ):
+        if not 0.0 <= fail_fraction < 1.0:
+            raise ValueError(f"fail_fraction must be in [0, 1), got {fail_fraction}")
+        if end < start:
+            raise ValueError("failure window end precedes start")
+        self.sim = sim
+        self.detector = detector
+        self.failed: List[int] = []
+        count = int(round(fail_fraction * len(nodes)))
+        victims = rng.sample(range(len(nodes)), count)
+        for victim in victims:
+            when = start + rng.random() * (end - start) if end > start else start
+            sim.schedule_at(when, self._fail, nodes[victim])
+
+    def _fail(self, node: TokenAccountNode) -> None:
+        if not node.online:
+            return
+        node.set_online(False)
+        node.stop()
+        self.failed.append(node.node_id)
+        self.detector.node_failed(node.node_id)
+
+
+class ReplicationMetric:
+    """Ground-truth replication health, sampled over time.
+
+    ``__call__`` returns the fraction of *surviving* objects currently
+    below the replication target (0 = fully repaired system). An object
+    survives while at least one online node truly holds it; objects whose
+    every holder failed are **lost** and tracked separately.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[TokenAccountNode],
+        n_objects: int,
+        target_replication: int,
+    ):
+        self.nodes = nodes
+        self.n_objects = n_objects
+        self.target = target_replication
+
+    def _true_holder_counts(self) -> List[int]:
+        counts = [0] * self.n_objects
+        for node in self.nodes:
+            if not node.online:
+                continue
+            app = node.app
+            assert isinstance(app, ReplicationApp)
+            for object_id in app.holder_views:
+                counts[object_id] += 1
+        return counts
+
+    def lost_objects(self) -> int:
+        """Objects with zero live replicas (unrecoverable)."""
+        return sum(1 for count in self._true_holder_counts() if count == 0)
+
+    def under_replicated(self) -> int:
+        """Surviving objects below the replication target."""
+        return sum(
+            1 for count in self._true_holder_counts() if 0 < count < self.target
+        )
+
+    def mean_replication(self) -> float:
+        """Average live replica count over surviving objects."""
+        counts = [c for c in self._true_holder_counts() if c > 0]
+        if not counts:
+            return 0.0
+        return sum(counts) / len(counts)
+
+    def __call__(self, now: float) -> float:
+        counts = self._true_holder_counts()
+        surviving = [c for c in counts if c > 0]
+        if not surviving:
+            return 0.0
+        return sum(1 for c in surviving if c < self.target) / len(surviving)

@@ -1,0 +1,112 @@
+"""A minimal SGD substrate for the gossip learning demo.
+
+Gossip learning (§2.2) learns "from distributed data using stochastic
+gradient descent"; the walking state is a model plus an age counter. For
+the paper's metric only the age matters, and the evaluation simulates
+ages alone. To demonstrate that our plumbing carries real models too,
+this module implements the simplest honest instance: linear regression
+under squared loss with the per-visit SGD update rule of Bottou [5]::
+
+    w  <-  w − η · (wᵀx − y) · x
+
+plus a synthetic regression problem generator whose examples can be
+dealt one-per-node ("we assume that every node in the network has only
+one training example"). The quickstart example walks such models through
+the network and reports the mean squared error against the generating
+weights.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+Example = Tuple[np.ndarray, float]
+
+
+class LinearRegressionModel:
+    """A linear model trained by per-example SGD steps.
+
+    Parameters
+    ----------
+    dimension:
+        Number of features (a bias term is appended internally).
+    weights:
+        Optional initial weights of length ``dimension + 1``; zeros by
+        default (``initModel()`` in Algorithm 1).
+    """
+
+    def __init__(self, dimension: int, weights: Sequence[float] | None = None):
+        if dimension < 1:
+            raise ValueError(f"dimension must be >= 1, got {dimension}")
+        self.dimension = dimension
+        if weights is None:
+            self.weights = np.zeros(dimension + 1)
+        else:
+            weights = np.asarray(weights, dtype=float)
+            if weights.shape != (dimension + 1,):
+                raise ValueError(
+                    f"expected {dimension + 1} weights, got {weights.shape}"
+                )
+            self.weights = weights.copy()
+
+    # ------------------------------------------------------------------
+    def predict(self, features: np.ndarray) -> float:
+        """Model output for one example."""
+        return float(self.weights[:-1] @ features + self.weights[-1])
+
+    def sgd_step(self, features: np.ndarray, target: float, learning_rate: float) -> None:
+        """One stochastic gradient step on the squared loss."""
+        residual = self.predict(features) - target
+        self.weights[:-1] -= learning_rate * residual * features
+        self.weights[-1] -= learning_rate * residual
+
+    def mean_squared_error(self, examples: Sequence[Example]) -> float:
+        """MSE over a set of examples."""
+        if not examples:
+            raise ValueError("no examples given")
+        total = 0.0
+        for features, target in examples:
+            error = self.predict(features) - target
+            total += error * error
+        return total / len(examples)
+
+    # ------------------------------------------------------------------
+    # Message (de)serialization: models travel inside ModelToken payloads.
+    # ------------------------------------------------------------------
+    def to_payload(self) -> tuple:
+        return tuple(self.weights.tolist())
+
+    @classmethod
+    def from_payload(cls, payload: tuple, dimension: int) -> "LinearRegressionModel":
+        return cls(dimension, weights=payload)
+
+    def copy(self) -> "LinearRegressionModel":
+        return LinearRegressionModel(self.dimension, weights=self.weights)
+
+
+def make_synthetic_regression(
+    n_examples: int,
+    dimension: int,
+    rng: random.Random,
+    noise: float = 0.05,
+) -> tuple[List[Example], np.ndarray]:
+    """Generate a linear regression problem with one example per node.
+
+    Returns ``(examples, true_weights)`` where ``true_weights`` has the
+    bias as its last component. Features are standard normal; targets are
+    the linear response plus Gaussian noise.
+    """
+    if n_examples < 1:
+        raise ValueError(f"need at least one example, got {n_examples}")
+    np_rng = np.random.default_rng(rng.getrandbits(64))
+    true_weights = np_rng.normal(size=dimension + 1)
+    examples: List[Example] = []
+    for _ in range(n_examples):
+        features = np_rng.normal(size=dimension)
+        target = float(true_weights[:-1] @ features + true_weights[-1])
+        target += float(np_rng.normal(scale=noise))
+        examples.append((features, target))
+    return examples, true_weights

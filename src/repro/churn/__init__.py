@@ -1,0 +1,43 @@
+"""Churn substrate: availability traces and trace-driven node scheduling.
+
+The paper's second scenario replays a real smartphone availability trace
+collected by STUNner: 1,191 users cut into 40,658 two-day segments, one
+segment per simulated node, where a user counts as online only while the
+phone has been charging for at least a minute with a network connection
+of at least 1 Mbit/s (§4.1).
+
+The real trace is not distributable, so this package provides:
+
+* :mod:`repro.churn.trace` — the trace data model (per-node online
+  intervals) with save/load in a simple text format, so the real trace
+  can be dropped in if available;
+* :mod:`repro.churn.stunner` — a synthetic generator calibrated to the
+  published characteristics of the trace (Figure 1): ~30 % of users never
+  online in the window, a clear diurnal cycle peaking at night (GMT) with
+  lower churn at night, mostly-European timezone mix;
+* :mod:`repro.churn.schedule` — applies a trace to simulated nodes as
+  online/offline events;
+* :mod:`repro.churn.stats` — the statistics shown in Figure 1.
+"""
+
+from repro.churn.schedule import ChurnSchedule
+from repro.churn.stats import (
+    ever_online_fraction,
+    login_logout_fractions,
+    online_fraction,
+    trace_summary,
+)
+from repro.churn.stunner import StunnerTraceConfig, generate_stunner_like_trace
+from repro.churn.trace import AvailabilityTrace, Interval
+
+__all__ = [
+    "AvailabilityTrace",
+    "ChurnSchedule",
+    "Interval",
+    "StunnerTraceConfig",
+    "ever_online_fraction",
+    "generate_stunner_like_trace",
+    "login_logout_fractions",
+    "online_fraction",
+    "trace_summary",
+]

@@ -1,0 +1,61 @@
+"""Trace-driven churn: apply an availability trace to simulated nodes.
+
+:class:`ChurnSchedule` turns each node's online intervals into
+``set_online`` events on the simulator. Nodes must be constructed with
+their correct initial state (`initial_online`), which the schedule also
+computes — a node whose first interval starts at 0 begins online.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.churn.trace import AvailabilityTrace
+from repro.sim.engine import Simulator
+from repro.sim.node import SimNode
+
+
+class ChurnSchedule:
+    """Schedules the online/offline transitions of a trace.
+
+    Usage::
+
+        schedule = ChurnSchedule(trace)
+        online0 = schedule.initial_online(node_id)   # before node creation
+        ...
+        schedule.apply(sim, nodes)                    # before sim.run()
+    """
+
+    def __init__(self, trace: AvailabilityTrace):
+        self.trace = trace
+
+    def initial_online(self, node_id: int) -> bool:
+        """Whether the node is online at time zero."""
+        return self.trace.is_online(node_id, 0.0)
+
+    def apply(self, sim: Simulator, nodes: Sequence[SimNode]) -> int:
+        """Schedule every transition for every node; returns event count.
+
+        Transitions at exactly ``t = 0`` are not scheduled — they must be
+        reflected in the nodes' initial state instead (use
+        :meth:`initial_online` when constructing nodes).
+        """
+        if len(nodes) != self.trace.n:
+            raise ValueError(
+                f"trace covers {self.trace.n} nodes but got {len(nodes)}"
+            )
+        scheduled = 0
+        for node in nodes:
+            expected = self.initial_online(node.node_id)
+            if node.online != expected:
+                raise ValueError(
+                    f"node {node.node_id} initial online={node.online} does not "
+                    f"match trace ({expected}); construct nodes with "
+                    f"initial_online()"
+                )
+            for time, online in self.trace.transitions(node.node_id):
+                if time == 0.0:
+                    continue  # encoded in the initial state
+                sim.schedule_at(time, node.set_online, online)
+                scheduled += 1
+        return scheduled

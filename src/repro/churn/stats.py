@@ -1,0 +1,120 @@
+"""Trace statistics — the quantities plotted in Figure 1.
+
+Figure 1 of the paper shows, for the two-day STUNner window:
+
+* the proportion of users **online** at each time;
+* the proportion of users that **have been online** up to each time;
+* bars with the proportion of users that **log in** and **log out**
+  (drawn negative) within each period.
+
+These functions compute exactly those series from any
+:class:`~repro.churn.trace.AvailabilityTrace`, so the Figure 1 bench can
+regenerate the plot data from the synthetic trace — or from the real one
+if it is dropped in.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.churn.trace import AvailabilityTrace
+
+
+def online_fraction(trace: AvailabilityTrace, times: Sequence[float]) -> List[float]:
+    """Proportion of users online at each of the given times."""
+    n = trace.n
+    if n == 0:
+        raise ValueError("trace has no users")
+    fractions = []
+    for time in times:
+        online = sum(1 for i in range(n) if trace.is_online(i, time))
+        fractions.append(online / n)
+    return fractions
+
+
+def ever_online_fraction(
+    trace: AvailabilityTrace, times: Sequence[float]
+) -> List[float]:
+    """Proportion of users that have been online at least once by each time."""
+    n = trace.n
+    if n == 0:
+        raise ValueError("trace has no users")
+    first_online = sorted(
+        trace.intervals(i)[0].start for i in range(n) if trace.intervals(i)
+    )
+    return [bisect.bisect_right(first_online, time) / n for time in times]
+
+
+def login_logout_fractions(
+    trace: AvailabilityTrace, bin_edges: Sequence[float]
+) -> tuple[List[float], List[float]]:
+    """Per-bin login and logout proportions (the bars of Figure 1).
+
+    Returns ``(logins, logouts)`` where entry ``b`` is the proportion of
+    users with at least one login (resp. logout) event inside
+    ``[bin_edges[b], bin_edges[b+1])``. The paper plots logouts as a
+    negative proportion; we return both positive and leave the sign to
+    the presentation layer.
+    """
+    if len(bin_edges) < 2:
+        raise ValueError("need at least two bin edges")
+    n = trace.n
+    bins = len(bin_edges) - 1
+    logins = [0] * bins
+    logouts = [0] * bins
+    for node_id in range(n):
+        login_bins = set()
+        logout_bins = set()
+        for time, online in trace.transitions(node_id):
+            index = bisect.bisect_right(bin_edges, time) - 1
+            if 0 <= index < bins:
+                (login_bins if online else logout_bins).add(index)
+        for index in login_bins:
+            logins[index] += 1
+        for index in logout_bins:
+            logouts[index] += 1
+    return [count / n for count in logins], [count / n for count in logouts]
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Headline numbers of a trace, for reports and calibration tests."""
+
+    n: int
+    horizon: float
+    never_online_fraction: float
+    mean_online_fraction: float
+    mean_session_length: float
+    sessions_per_user: float
+
+    def __str__(self) -> str:  # pragma: no cover - formatting helper
+        return (
+            f"users={self.n}  horizon={self.horizon / 3600:.0f}h  "
+            f"never-online={self.never_online_fraction:.1%}  "
+            f"avg-online={self.mean_online_fraction:.1%}  "
+            f"avg-session={self.mean_session_length / 3600:.2f}h  "
+            f"sessions/user={self.sessions_per_user:.2f}"
+        )
+
+
+def trace_summary(trace: AvailabilityTrace) -> TraceSummary:
+    """Compute the headline statistics of a trace."""
+    n = trace.n
+    if n == 0:
+        raise ValueError("trace has no users")
+    never = sum(1 for i in range(n) if not trace.intervals(i))
+    total_online = sum(trace.online_time(i) for i in range(n))
+    session_count = sum(len(trace.intervals(i)) for i in range(n))
+    total_session_time = total_online
+    return TraceSummary(
+        n=n,
+        horizon=trace.horizon,
+        never_online_fraction=never / n,
+        mean_online_fraction=total_online / (n * trace.horizon),
+        mean_session_length=(
+            total_session_time / session_count if session_count else 0.0
+        ),
+        sessions_per_user=session_count / n,
+    )

@@ -1,0 +1,190 @@
+"""Availability traces: per-node online intervals over a finite horizon.
+
+An :class:`AvailabilityTrace` assigns each node a sorted list of disjoint
+half-open intervals ``[start, end)`` during which the node is online. The
+trace-driven scenario of §4.1 assigns one two-day segment per simulated
+node.
+
+The on-disk format is line-oriented text, one node per line::
+
+    # repro availability trace v1
+    horizon 172800.0
+    0 3600.0:7200.0 36000.0:86400.0
+    1
+    2 0.0:172800.0
+
+A node line is its id followed by zero or more ``start:end`` pairs. This
+is deliberately trivial so the real STUNner trace — or any other
+availability data — can be converted with a few lines of scripting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open online interval ``[start, end)`` in virtual seconds."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"interval start must be >= 0, got {self.start}")
+        if self.end <= self.start:
+            raise ValueError(f"empty or inverted interval [{self.start}, {self.end})")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def contains(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+
+def merge_intervals(intervals: Iterable[Interval]) -> List[Interval]:
+    """Merge overlapping or touching intervals into a sorted disjoint list."""
+    ordered = sorted(intervals)
+    merged: List[Interval] = []
+    for interval in ordered:
+        if merged and interval.start <= merged[-1].end:
+            last = merged[-1]
+            if interval.end > last.end:
+                merged[-1] = Interval(last.start, interval.end)
+        else:
+            merged.append(interval)
+    return merged
+
+
+class AvailabilityTrace:
+    """Per-node availability over ``[0, horizon)``.
+
+    Parameters
+    ----------
+    horizon:
+        Length of the traced window in seconds (two days = 172,800 s in
+        the paper).
+    segments:
+        ``segments[i]`` is the list of online intervals of node ``i``.
+        Intervals must be disjoint, sorted and contained in the horizon
+        (overlapping input should be merged with :func:`merge_intervals`
+        first).
+    """
+
+    def __init__(self, horizon: float, segments: Sequence[Sequence[Interval]]):
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        self.horizon = float(horizon)
+        checked: List[List[Interval]] = []
+        for node_id, intervals in enumerate(segments):
+            intervals = list(intervals)
+            previous_end = -1.0
+            for interval in intervals:
+                if interval.start < previous_end:
+                    raise ValueError(
+                        f"node {node_id}: intervals overlap or are unsorted "
+                        f"at {interval}"
+                    )
+                if interval.end > horizon + 1e-9:
+                    raise ValueError(
+                        f"node {node_id}: interval {interval} exceeds horizon "
+                        f"{horizon}"
+                    )
+                previous_end = interval.end
+            checked.append(intervals)
+        self._segments = checked
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of nodes covered by the trace."""
+        return len(self._segments)
+
+    def intervals(self, node_id: int) -> List[Interval]:
+        return self._segments[node_id]
+
+    def is_online(self, node_id: int, time: float) -> bool:
+        """Whether node ``node_id`` is online at virtual time ``time``."""
+        for interval in self._segments[node_id]:
+            if interval.contains(time):
+                return True
+            if interval.start > time:
+                break
+        return False
+
+    def ever_online(self, node_id: int, until: float | None = None) -> bool:
+        """Whether the node has been online at any point up to ``until``."""
+        intervals = self._segments[node_id]
+        if not intervals:
+            return False
+        if until is None:
+            return True
+        return intervals[0].start < until
+
+    def online_time(self, node_id: int) -> float:
+        """Total online duration of a node across the horizon."""
+        return sum(interval.duration for interval in self._segments[node_id])
+
+    def transitions(self, node_id: int) -> List[tuple[float, bool]]:
+        """All ``(time, online)`` transitions of a node in time order."""
+        events: List[tuple[float, bool]] = []
+        for interval in self._segments[node_id]:
+            events.append((interval.start, True))
+            if interval.end < self.horizon:
+                events.append((interval.end, False))
+        return events
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the trace in the v1 text format."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            handle.write("# repro availability trace v1\n")
+            handle.write(f"horizon {self.horizon!r}\n")
+            for node_id, intervals in enumerate(self._segments):
+                parts = [str(node_id)]
+                parts.extend(f"{i.start!r}:{i.end!r}" for i in intervals)
+                handle.write(" ".join(parts) + "\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "AvailabilityTrace":
+        """Read a trace written by :meth:`save` (or hand-converted data)."""
+        path = Path(path)
+        horizon: float | None = None
+        rows: List[tuple[int, List[Interval]]] = []
+        with path.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                if line.startswith("horizon"):
+                    horizon = float(line.split()[1])
+                    continue
+                parts = line.split()
+                node_id = int(parts[0])
+                intervals = []
+                for token in parts[1:]:
+                    try:
+                        start_text, end_text = token.split(":")
+                    except ValueError as error:
+                        raise ValueError(
+                            f"{path}:{line_number}: malformed interval {token!r}"
+                        ) from error
+                    intervals.append(Interval(float(start_text), float(end_text)))
+                rows.append((node_id, intervals))
+        if horizon is None:
+            raise ValueError(f"{path}: missing horizon line")
+        rows.sort()
+        expected_ids = list(range(len(rows)))
+        if [node_id for node_id, _ in rows] != expected_ids:
+            raise ValueError(f"{path}: node ids must be dense 0..n-1")
+        return cls(horizon, [intervals for _, intervals in rows])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AvailabilityTrace(n={self.n}, horizon={self.horizon})"

@@ -1,0 +1,244 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives shell access to the main library entry points:
+
+* ``run`` — run one configured experiment and print the metric series;
+* ``figure`` — regenerate a paper figure (1–5) at a chosen scale;
+* ``sweep`` — the §4.2 parameter-space exploration;
+* ``trace`` — generate a synthetic STUNner-like availability trace to a
+  file and print its Figure-1 statistics.
+
+Examples::
+
+    python -m repro run --app push-gossip --strategy randomized -A 10 -C 20 \\
+        --nodes 500 --periods 200
+    python -m repro figure 2 --app gossip-learning --scale ci
+    python -m repro sweep --app push-gossip --strategy generalized
+    python -m repro trace --users 2000 --out trace.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.churn.stats import trace_summary
+from repro.churn.stunner import StunnerTraceConfig, generate_stunner_like_trace
+from repro.experiments.config import APPLICATIONS, ExperimentConfig
+from repro.experiments.report import format_series_table
+from repro.experiments.runner import run_experiment
+from repro.experiments.scale import ScalePreset, current_scale
+from repro.sim.randomness import RandomStreams
+
+
+def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--app", required=True, choices=APPLICATIONS)
+    parser.add_argument(
+        "--strategy",
+        required=True,
+        choices=(
+            "proactive",
+            "simple",
+            "generalized",
+            "randomized",
+            "reactive",
+            "graded-generalized",
+            "graded-randomized",
+        ),
+    )
+    parser.add_argument("-A", "--spend-rate", type=int, default=None)
+    parser.add_argument("-C", "--capacity", type=int, default=None)
+    parser.add_argument("--nodes", type=int, default=500)
+    parser.add_argument("--periods", type=int, default=200)
+    parser.add_argument("--scenario", choices=("failure-free", "trace"),
+                        default="failure-free")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--loss-rate", type=float, default=0.0)
+    parser.add_argument("--grading-scale", type=float, default=None)
+    parser.add_argument("--audit", action="store_true",
+                        help="verify the §3.4 burst bound after the run")
+    parser.add_argument("--save", type=str, default=None, metavar="FILE",
+                        help="write the result to FILE (.json or .csv)")
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        app=args.app,
+        strategy=args.strategy,
+        spend_rate=args.spend_rate,
+        capacity=args.capacity,
+        n=args.nodes,
+        periods=args.periods,
+        scenario=args.scenario,
+        seed=args.seed,
+        loss_rate=args.loss_rate,
+        grading_scale=args.grading_scale,
+        audit_sends=args.audit,
+    )
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    print(f"running {config.label()} (N={config.n}, periods={config.periods})")
+    result = run_experiment(config)
+    print(format_series_table({config.strategy: result.metric}, rows=15))
+    print()
+    print(result.summary())
+    if args.audit:
+        if result.ratelimit_violations:
+            print(f"BURST BOUND VIOLATED: {len(result.ratelimit_violations)} windows")
+            return 1
+        print("burst bound verified: no window exceeded ceil(t/Δ) + C sends")
+    if args.save:
+        from repro.experiments.export import save_result
+
+        save_result(result, args.save)
+        print(f"saved to {args.save}")
+    return 0
+
+
+def _resolve_scale(name: Optional[str]) -> ScalePreset:
+    if name is None:
+        return current_scale()
+    import os
+
+    os.environ["REPRO_SCALE"] = name
+    return current_scale()
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    from repro.experiments import figures
+    from repro.experiments.report import format_messages_per_node
+
+    scale = _resolve_scale(args.scale)
+    number = args.number
+    if number == 1:
+        data = figures.figure1(scale=scale, seed=args.seed)
+    elif number in (2, 3, 4):
+        if args.app is None:
+            print("--app is required for figures 2-4", file=sys.stderr)
+            return 2
+        builder = {2: figures.figure2, 3: figures.figure3, 4: figures.figure4}[number]
+        data = builder(args.app, scale=scale, seed=args.seed, quick=args.quick)
+    elif number == 5:
+        data = figures.figure5(scale=scale, seed=args.seed)
+    else:
+        print(f"unknown figure {number}; the paper has figures 1-5", file=sys.stderr)
+        return 2
+    print(f"{data.name}: {data.description}")
+    print(f"scale: {data.scale_label}\n")
+    print(format_series_table(data.series, rows=args.rows))
+    if args.plot:
+        from repro.experiments.ascii_plot import ascii_chart
+
+        print()
+        print(
+            ascii_chart(
+                data.series,
+                log_y=args.log,
+                title=data.description,
+            )
+        )
+    if data.message_rates:
+        print()
+        print(format_messages_per_node(data.message_rates))
+    for key, value in data.extras.items():
+        if key in ("meanfield",):
+            continue
+        print(f"\n{key}: {value}")
+    if args.save:
+        from repro.experiments.export import save_figure
+
+        save_figure(data, args.save)
+        print(f"saved to {args.save}")
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweep import format_sweep_table, run_sweep
+
+    scale = _resolve_scale(args.scale)
+    cells = run_sweep(args.app, args.strategy, scale=scale, seed=args.seed)
+    higher_is_better = args.app == "gossip-learning"
+    print(
+        f"{args.app} / {args.strategy} over the (A, C) grid "
+        f"({'higher' if higher_is_better else 'lower'} is better):"
+    )
+    print(format_sweep_table(cells, higher_is_better=higher_is_better))
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    streams = RandomStreams(args.seed)
+    config = StunnerTraceConfig(horizon=args.hours * 3600.0)
+    trace = generate_stunner_like_trace(args.users, streams.stream("cli-trace"), config)
+    print(f"generated: {trace_summary(trace)}")
+    if args.out:
+        trace.save(args.out)
+        print(f"written to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Token account algorithms (Danner & Jelasity, ICDCS 2018) — "
+            "experiments, figures and sweeps"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser("run", help="run one experiment")
+    _add_experiment_arguments(run_parser)
+    run_parser.set_defaults(handler=_command_run)
+
+    figure_parser = commands.add_parser("figure", help="regenerate a paper figure")
+    figure_parser.add_argument("number", type=int, help="figure number (1-5)")
+    figure_parser.add_argument("--app", choices=APPLICATIONS, default=None)
+    figure_parser.add_argument("--scale", choices=("ci", "medium", "paper"),
+                               default=None)
+    figure_parser.add_argument("--seed", type=int, default=1)
+    figure_parser.add_argument("--rows", type=int, default=12)
+    figure_parser.add_argument("--quick", action="store_true",
+                               help="thinned strategy selection")
+    figure_parser.add_argument("--plot", action="store_true",
+                               help="render an ASCII chart of the series")
+    figure_parser.add_argument("--log", action="store_true",
+                               help="log-scale the chart's value axis")
+    figure_parser.add_argument("--save", type=str, default=None, metavar="FILE",
+                               help="write the figure data to FILE (.json/.csv)")
+    figure_parser.set_defaults(handler=_command_figure)
+
+    sweep_parser = commands.add_parser("sweep", help="§4.2 parameter sweep")
+    sweep_parser.add_argument("--app", required=True, choices=APPLICATIONS)
+    sweep_parser.add_argument(
+        "--strategy", required=True, choices=("simple", "generalized", "randomized")
+    )
+    sweep_parser.add_argument("--scale", choices=("ci", "medium", "paper"),
+                              default=None)
+    sweep_parser.add_argument("--seed", type=int, default=1)
+    sweep_parser.set_defaults(handler=_command_sweep)
+
+    trace_parser = commands.add_parser(
+        "trace", help="generate a synthetic smartphone trace"
+    )
+    trace_parser.add_argument("--users", type=int, default=2000)
+    trace_parser.add_argument("--hours", type=float, default=48.0)
+    trace_parser.add_argument("--seed", type=int, default=1)
+    trace_parser.add_argument("--out", type=str, default=None)
+    trace_parser.set_defaults(handler=_command_trace)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""The token account framework — the paper's core contribution (§3).
+
+* :mod:`repro.core.account` — the per-node token account with its
+  non-negativity and capacity invariants.
+* :mod:`repro.core.rounding` — the probabilistic rounding used by
+  Algorithm 4 (``randRound``).
+* :mod:`repro.core.strategies` — the proactive/reactive function pairs:
+  purely proactive, simple, generalized, randomized token account, plus
+  the unbounded purely reactive reference.
+* :mod:`repro.core.api` — the application-facing API
+  (``createMessage`` / ``updateState``).
+* :mod:`repro.core.protocol` — Algorithm 4 itself, binding a strategy and
+  an application to a simulated node.
+* :mod:`repro.core.ratelimit` — auditing of the §3.4 burst bound.
+* :mod:`repro.core.meanfield` — the §4.3 mean-field model of the average
+  token balance.
+* :mod:`repro.core.discrete_balance` — exact Markov-chain refinement of
+  the mean-field for small token budgets.
+* :mod:`repro.core.grading` — graded usefulness (the paper's stated
+  future work).
+"""
+
+from repro.core.account import TokenAccount
+from repro.core.discrete_balance import (
+    stationary_distribution,
+    stationary_mean_balance,
+)
+from repro.core.api import Application
+from repro.core.grading import (
+    GradedGeneralizedTokenAccount,
+    GradedRandomizedTokenAccount,
+    as_grade,
+    saturating_grade,
+)
+from repro.core.meanfield import (
+    MeanFieldModel,
+    MeanFieldTrajectory,
+    randomized_equilibrium,
+    solve_equilibrium,
+)
+from repro.core.protocol import TokenAccountNode
+from repro.core.ratelimit import RateLimitAuditor, burst_bound
+from repro.core.rounding import rand_round
+from repro.core.strategies import (
+    GeneralizedTokenAccount,
+    ProactiveStrategy,
+    PureReactiveStrategy,
+    RandomizedTokenAccount,
+    SimpleTokenAccount,
+    Strategy,
+    make_strategy,
+)
+
+__all__ = [
+    "Application",
+    "GradedGeneralizedTokenAccount",
+    "GradedRandomizedTokenAccount",
+    "as_grade",
+    "saturating_grade",
+    "GeneralizedTokenAccount",
+    "MeanFieldModel",
+    "MeanFieldTrajectory",
+    "ProactiveStrategy",
+    "PureReactiveStrategy",
+    "RandomizedTokenAccount",
+    "RateLimitAuditor",
+    "SimpleTokenAccount",
+    "Strategy",
+    "TokenAccount",
+    "TokenAccountNode",
+    "burst_bound",
+    "make_strategy",
+    "rand_round",
+    "randomized_equilibrium",
+    "solve_equilibrium",
+    "stationary_distribution",
+    "stationary_mean_balance",
+]

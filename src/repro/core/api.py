@@ -1,0 +1,76 @@
+"""The application-facing API of the token account service (§3.2).
+
+To run on top of the framework an application provides exactly the two
+methods of the paper:
+
+* ``create_message()`` — "responsible for constructing a message to be
+  sent based on the current state". In all three demonstrator
+  applications this just copies the current state.
+* ``update_state(payload, sender)`` — "responsible for updating the
+  current state based on the new message that has been received",
+  returning the **usefulness** of the message (a boolean for now; the
+  paper notes that "finer grading is possible in the future").
+
+Beyond the paper's two methods the API exposes optional lifecycle and
+control-plane hooks needed by the evaluation scenarios:
+
+* ``on_online`` / ``on_offline`` — churn transitions; push gossip uses
+  ``on_online`` for its initial pull request (§4.1.2);
+* ``handle_control`` — non-Algorithm-4 messages (the pull request), which
+  must bypass the reactive path since a pull request carries no update.
+
+One application instance is bound to one node via :meth:`bind`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.core.protocol import TokenAccountNode
+    from repro.sim.network import Message
+
+
+class Application(ABC):
+    """Per-node application logic plugged into Algorithm 4."""
+
+    def __init__(self) -> None:
+        self.node: "TokenAccountNode | None" = None
+
+    def bind(self, node: "TokenAccountNode") -> None:
+        """Attach this application instance to its node (called once)."""
+        if self.node is not None:
+            raise RuntimeError("application instance already bound to a node")
+        self.node = node
+
+    # ------------------------------------------------------------------
+    # The paper's API (§3.2)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def create_message(self) -> Any:
+        """Build the payload for an outgoing message from current state."""
+
+    @abstractmethod
+    def update_state(self, payload: Any, sender: int) -> bool:
+        """Fold an incoming payload into local state; return usefulness."""
+
+    # ------------------------------------------------------------------
+    # Optional hooks
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        """Called once when the node's protocol starts."""
+
+    def on_online(self) -> None:
+        """Called when the node transitions offline -> online."""
+
+    def on_offline(self) -> None:
+        """Called when the node transitions online -> offline."""
+
+    def handle_control(self, message: "Message") -> bool:
+        """Handle a non-data message; return ``True`` if consumed.
+
+        Messages whose ``kind`` is not ``"data"`` are offered here and
+        never enter the Algorithm 4 reactive path.
+        """
+        return False

@@ -1,0 +1,110 @@
+"""Graded usefulness — the paper's stated future work (§3.1).
+
+"Currently we assume that u is a Boolean value (the message is either
+useful or not). Finer grading is possible in the future."
+
+This module implements that extension. The framework contract is
+widened, fully backward-compatibly:
+
+* ``updateState`` may return a **float in [0, 1]** instead of a bool —
+  the *degree* of usefulness of the received message;
+* binary strategies coarsen a graded value through truthiness (any
+  positive grade counts as useful), so every §3.3 strategy keeps working
+  unchanged;
+* the graded strategies below consume the full grade, scaling their
+  reactive budget with it, and reduce *exactly* to their binary parents
+  at ``u ∈ {0, 1}``.
+
+Monotonicity in ``u`` — the §3.1 contract — holds by construction: both
+reactive functions below are linear in the grade.
+
+The demonstrator applications expose an opt-in grading mode:
+
+* push gossip — grade = freshness gap, saturating at ``grading_scale``
+  updates ("this message advances me 7 updates" is worth more tokens
+  than "it advances me 1");
+* gossip learning — grade = age gap of the received model, saturating;
+* chaotic iteration — grade = relative change of the local value,
+  saturating at ``grading_scale`` relative change.
+"""
+
+from __future__ import annotations
+
+from repro.core.strategies import (
+    GeneralizedTokenAccount,
+    RandomizedTokenAccount,
+)
+
+
+def as_grade(usefulness) -> float:
+    """Normalize an ``updateState`` return value to a grade in [0, 1].
+
+    Booleans map to 0.0/1.0; floats are validated and passed through.
+    """
+    if isinstance(usefulness, bool):
+        return 1.0 if usefulness else 0.0
+    grade = float(usefulness)
+    if not 0.0 <= grade <= 1.0:
+        raise ValueError(f"usefulness grade must be in [0, 1], got {grade}")
+    return grade
+
+
+def saturating_grade(gap: float, scale: float) -> float:
+    """Map a non-negative gap to a grade, saturating at ``scale``.
+
+    ``grade = min(1, gap / scale)`` — the simplest monotone grading. A
+    gap of 0 (no new information) grades 0; gaps at or beyond ``scale``
+    grade 1, recovering the binary behaviour for large jumps.
+    """
+    if scale <= 0:
+        raise ValueError(f"grading scale must be positive, got {scale}")
+    if gap <= 0:
+        return 0.0
+    return min(1.0, gap / scale)
+
+
+class GradedRandomizedTokenAccount(RandomizedTokenAccount):
+    """Randomized token account with a graded reactive function.
+
+    ``REACTIVE(a, u) = u · a / A`` — linear in the grade, so a
+    marginally useful message spends proportionally fewer tokens. At
+    ``u ∈ {0, 1}`` this is exactly the §3.3.3 strategy, and the §4.3
+    equilibrium generalizes to ``reactive + proactive = 1`` with
+    ``reactive = ū·a/A`` where ``ū`` is the mean grade.
+    """
+
+    name = "graded-randomized"
+
+    def reactive(self, balance: int, useful) -> float:
+        grade = as_grade(useful)
+        if grade == 0.0:
+            return 0.0
+        return grade * balance / self.spend_rate
+
+    def describe(self) -> str:
+        return f"graded-randomized(A={self.spend_rate}, C={self.capacity})"
+
+
+class GradedGeneralizedTokenAccount(GeneralizedTokenAccount):
+    """Generalized token account with a graded reactive function.
+
+    The binary version spends the full budget on useful messages and
+    half on useless ones; the graded version interpolates linearly::
+
+        REACTIVE(a, u) = ⌊ (A − 1 + a) / A · (1 + u) / 2 ⌋
+
+    which reduces to equation (3) at ``u ∈ {0, 1}`` (the floor of the
+    halved budget equals ``⌊(A−1+a)/(2A)⌋`` since ``(A−1+a)/A`` is
+    evaluated before flooring in the interpolated form — see the unit
+    tests for the exact equivalence check).
+    """
+
+    name = "graded-generalized"
+
+    def reactive(self, balance: int, useful) -> float:
+        grade = as_grade(useful)
+        budget = (self.spend_rate - 1 + balance) / self.spend_rate
+        return float(int(budget * (1.0 + grade) / 2.0))
+
+    def describe(self) -> str:
+        return f"graded-generalized(A={self.spend_rate}, C={self.capacity})"

@@ -1,0 +1,276 @@
+"""Mean-field model of the token dynamics (§4.3).
+
+The paper closes with a short analytical derivation of the average number
+of tokens per node in a failure-free system. With ``a(t)`` the average
+balance and ``w(t)`` the average number of messages sent per node up to
+time ``t``, the mean-field equations are::
+
+    da/dt   = 1/Δ − dw/dt                                   (8)
+    d²w/dt² = dw/dt · (reactive(a, u) − 1) + proactive(a)/Δ  (9)
+
+Equation (8): the balance grows by one token per round and shrinks by one
+per sent message. Equation (9): the change in send rate comes from
+reactive amplification (each received message triggers ``reactive(a, u)``
+messages, replacing itself — hence the ``− 1``) plus the proactive rate.
+
+At equilibrium (``da/dt = 0``, ``d²w/dt² = 0``)::
+
+    reactive(a, u) + proactive(a) = 1                        (10)
+
+For the randomized token account with ``u = 1`` this solves in closed
+form to ``a = A·C / (C + 1) ≈ A``, which Figure 5 validates against
+simulation. This module provides the closed form, a generic numeric
+equilibrium solver, and an RK4 integrator for the full transient — the
+trajectory from the all-zero initial condition that the simulated token
+counts in Figure 5 follow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core.strategies import RandomizedTokenAccount, Strategy
+
+
+def randomized_equilibrium(spend_rate: int, capacity: int) -> float:
+    """Closed-form equilibrium balance for the randomized strategy, u = 1.
+
+    ``a = A·C / (C + 1)`` — derived by substituting ``reactive = a/A`` and
+    the linear segment of the proactive function into equation (10).
+
+    >>> randomized_equilibrium(10, 20)
+    9.523809523809524
+    """
+    if spend_rate < 1:
+        raise ValueError(f"A must be >= 1, got {spend_rate}")
+    if capacity < spend_rate:
+        raise ValueError(f"C must be >= A, got A={spend_rate}, C={capacity}")
+    return spend_rate * capacity / (capacity + 1)
+
+
+def solve_equilibrium(
+    strategy: Strategy,
+    useful: bool = True,
+    tolerance: float = 1e-9,
+    useful_probability: Optional[float] = None,
+) -> float:
+    """Numerically solve equation (10) for the equilibrium balance.
+
+    Uses bisection on ``g(a) = reactive(a, u) + proactive(a) − 1`` over
+    ``[0, C]`` with the strategy's *continuous* relaxations. ``g`` is
+    monotone non-decreasing (both terms are), so bisection is sound; if
+    ``g`` never crosses zero the boundary with the smaller residual is
+    returned (e.g. the purely proactive strategy pins the balance at 0).
+
+    Parameters
+    ----------
+    useful:
+        Usefulness assumed for the reactive term (the paper uses
+        ``u = 1``). Ignored when ``useful_probability`` is given.
+    useful_probability:
+        Optional mean-field mix: the reactive term becomes
+        ``p·reactive(a, 1) + (1−p)·reactive(a, 0)``.
+    """
+    capacity = strategy.token_capacity
+    if capacity is None:
+        raise ValueError("equilibrium requires a strategy with finite capacity")
+
+    def reactive_term(balance: float) -> float:
+        if useful_probability is None:
+            return strategy.continuous_reactive(balance, useful)
+        p = useful_probability
+        return p * strategy.continuous_reactive(balance, True) + (
+            1.0 - p
+        ) * strategy.continuous_reactive(balance, False)
+
+    def g(balance: float) -> float:
+        return reactive_term(balance) + strategy.continuous_proactive(balance) - 1.0
+
+    low, high = 0.0, float(capacity)
+    g_low, g_high = g(low), g(high)
+    if g_low >= 0:
+        return low
+    if g_high <= 0:
+        return high
+    while high - low > tolerance:
+        mid = (low + high) / 2
+        if g(mid) < 0:
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2
+
+
+@dataclass
+class MeanFieldTrajectory:
+    """The integrated mean-field transient.
+
+    Attributes
+    ----------
+    times:
+        Sample times, in virtual seconds.
+    balances:
+        ``a(t)`` — average token balance.
+    send_rates:
+        ``dw/dt`` — average messages sent per node per second.
+    """
+
+    times: List[float]
+    balances: List[float]
+    send_rates: List[float]
+
+    def final_balance(self) -> float:
+        return self.balances[-1]
+
+
+class MeanFieldModel:
+    """Integrator for the mean-field token dynamics of §4.3.
+
+    The raw system (8)–(9) is *stiff*: the message population reacts on
+    the transfer-time scale (seconds) while the token balance moves on
+    the round scale (minutes) — a ~100:1 separation in the paper's setup.
+    We therefore integrate the slow variable on its **slow manifold**:
+    given balance ``a``, the message population equilibrates almost
+    instantly (setting ``d²w/dt² = 0`` in equation (9)) at
+
+        s(a) = dw/dt = (proactive(a)/Δ) / (1 − reactive(a, u)),
+
+    the proactive seed rate amplified by the geometric reactive cascade.
+    Substituting into equation (8) leaves a one-dimensional ODE::
+
+        da/dt = 1/Δ − s(a)
+
+    whose unique fixed point is exactly equation (10):
+    ``reactive(a, u) + proactive(a) = 1``. Where ``reactive(a, u) >= 1``
+    the cascade is token-limited rather than supply-limited; there the
+    send rate is capped at the rate that drains the balance over one
+    response time (``1/Δ + a/response_time``), which only matters for
+    transients started above the equilibrium.
+
+    Parameters
+    ----------
+    strategy:
+        The strategy whose continuous relaxations define the vector field.
+    period:
+        The round length Δ.
+    useful_probability:
+        Mean-field probability that an incoming message is useful. The
+        paper takes ``u = 1`` for gossip learning ("most incoming
+        messages are better than the locally stored random walk"); push
+        gossip in steady state would use a lower value.
+    response_time:
+        Timescale of the reactive cascade — the per-message transfer
+        time. Defaults to Δ/100, the paper's ratio.
+    """
+
+    def __init__(
+        self,
+        strategy: Strategy,
+        period: float,
+        useful_probability: float = 1.0,
+        response_time: Optional[float] = None,
+    ):
+        if not 0.0 <= useful_probability <= 1.0:
+            raise ValueError(
+                f"useful_probability must be in [0, 1], got {useful_probability}"
+            )
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.strategy = strategy
+        self.period = period
+        self.useful_probability = useful_probability
+        self.response_time = response_time if response_time else period / 100.0
+
+    # ------------------------------------------------------------------
+    def _reactive_mean(self, balance: float) -> float:
+        """Usefulness-averaged continuous reactive value at ``balance``."""
+        p = self.useful_probability
+        useful_part = self.strategy.continuous_reactive(balance, True) if p > 0 else 0.0
+        useless_part = (
+            self.strategy.continuous_reactive(balance, False) if p < 1 else 0.0
+        )
+        return p * useful_part + (1.0 - p) * useless_part
+
+    def send_rate(self, balance: float) -> float:
+        """Quasi-static send rate ``s(a)`` on the slow manifold."""
+        balance = max(0.0, balance)
+        seed = self.strategy.continuous_proactive(balance) / self.period
+        amplification = self._reactive_mean(balance)
+        token_limit = 1.0 / self.period + balance / self.response_time
+        if amplification >= 1.0:
+            return token_limit
+        return min(seed / (1.0 - amplification), token_limit)
+
+    def _derivative(self, balance: float) -> float:
+        """Right-hand side of the reduced equation (8)."""
+        return 1.0 / self.period - self.send_rate(balance)
+
+    def integrate(
+        self,
+        horizon: float,
+        initial_balance: float = 0.0,
+        step: float | None = None,
+        samples: int = 200,
+    ) -> MeanFieldTrajectory:
+        """Integrate the transient from ``t = 0`` to ``t = horizon``.
+
+        Parameters
+        ----------
+        horizon:
+            Integration end time in virtual seconds.
+        initial_balance:
+            Initial balance; the paper's experiments start at 0 tokens.
+        step:
+            RK4 step; defaults to ``min(Δ/50, response_time)`` — small
+            enough for the token-limited branch of the vector field.
+        samples:
+            Number of evenly spaced points recorded in the trajectory.
+        """
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        if step is None:
+            step = min(self.period / 50.0, self.response_time)
+        balance = float(initial_balance)
+        sample_interval = horizon / samples
+        next_sample = 0.0
+        times: List[float] = []
+        balances: List[float] = []
+        send_rates: List[float] = []
+        t = 0.0
+        while True:
+            if t >= next_sample - 1e-12:
+                times.append(t)
+                balances.append(balance)
+                send_rates.append(self.send_rate(balance))
+                next_sample += sample_interval
+            if t >= horizon - 1e-12:
+                break
+            h = min(step, horizon - t)
+            k1 = self._derivative(balance)
+            k2 = self._derivative(balance + h / 2 * k1)
+            k3 = self._derivative(balance + h / 2 * k2)
+            k4 = self._derivative(balance + h * k3)
+            balance += h / 6 * (k1 + 2 * k2 + 2 * k3 + k4)
+            balance = max(0.0, balance)
+            if self.strategy.token_capacity is not None:
+                balance = min(balance, float(self.strategy.token_capacity))
+            t += h
+        return MeanFieldTrajectory(times, balances, send_rates)
+
+    def predicted_equilibrium(self) -> float:
+        """Equilibrium balance from equation (10).
+
+        Uses the closed form for the randomized strategy with ``u = 1``
+        and the numeric solver otherwise.
+        """
+        if (
+            isinstance(self.strategy, RandomizedTokenAccount)
+            and self.useful_probability == 1.0
+        ):
+            return randomized_equilibrium(
+                self.strategy.spend_rate, self.strategy.capacity
+            )
+        return solve_equilibrium(
+            self.strategy, useful_probability=self.useful_probability
+        )

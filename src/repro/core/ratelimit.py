@@ -1,0 +1,157 @@
+"""Auditing the rate-limitation property of §3.4.
+
+The paper proves a simple burst bound: with token capacity ``C`` (the
+smallest balance at which the proactive function is 1), "a node cannot
+send more than ⌊t/Δ⌋ + C messages within a period of time t".
+
+The derivation, adapted to our implementation: in any half-open window of
+length ``t`` a node's timer fires at most ``⌈t/Δ⌉`` times; each tick
+either sends one proactive message or banks one token; reactive sends
+spend banked tokens, of which at most ``C`` existed at the window start
+and at most one more per banking tick accrued inside the window. Hence::
+
+    sends(window of length t)  <=  ⌈t/Δ⌉ + C  =  burst_bound(t, Δ, C)
+
+(The ceiling rather than the paper's floor covers windows that are not
+aligned with the tick grid; for ``t`` an exact multiple of ``Δ`` the two
+coincide.)
+
+:class:`RateLimitAuditor` records every send via a network listener and
+checks the bound over **all** windows after the run — this is the
+executable form of the paper's guarantee, used by the property tests and
+the ``test_ratelimit_bound`` bench.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.sim.network import Message, Network
+
+
+def burst_bound(window: float, period: float, capacity: int) -> int:
+    """Maximum sends allowed in any window of the given length (§3.4)."""
+    if window < 0:
+        raise ValueError(f"window must be >= 0, got {window}")
+    if period <= 0:
+        raise ValueError(f"period must be > 0, got {period}")
+    if capacity < 0:
+        raise ValueError(f"capacity must be >= 0, got {capacity}")
+    return math.ceil(window / period) + capacity
+
+
+@dataclass(frozen=True)
+class RateLimitViolation:
+    """One window in which a node exceeded the §3.4 bound."""
+
+    node_id: int
+    window_start: float
+    window_length: float
+    sends: int
+    bound: int
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"node {self.node_id} sent {self.sends} > {self.bound} messages "
+            f"in [{self.window_start:.3f}, {self.window_start + self.window_length:.3f})"
+        )
+
+
+class RateLimitAuditor:
+    """Records send timestamps and verifies the burst bound post-hoc.
+
+    Attach before the run::
+
+        auditor = RateLimitAuditor(network)
+        ... run simulation ...
+        violations = auditor.check(period=delta, capacity=C)
+        assert not violations
+
+    Only ``data`` messages count: control messages (the pull request of
+    §4.1.2) carry no payload and are not part of the paper's accounting,
+    but pull *replies* burn a token and therefore are data messages.
+    """
+
+    def __init__(self, network: Network, kinds: tuple = ("data",)):
+        self.kinds = kinds
+        self.send_times: Dict[int, List[float]] = {}
+        network.add_send_listener(self._on_send)
+
+    def _on_send(self, message: Message) -> None:
+        if message.kind in self.kinds:
+            self.send_times.setdefault(message.src, []).append(message.sent_at)
+
+    # ------------------------------------------------------------------
+    def total_sends(self, node_id: int) -> int:
+        return len(self.send_times.get(node_id, ()))
+
+    def max_sends_in_window(self, node_id: int, window: float) -> int:
+        """Largest send count over all half-open windows of length ``window``.
+
+        It suffices to check windows starting at each send time (a sliding
+        window achieves its maximum when its left edge sits on a send).
+        """
+        times = self.send_times.get(node_id)
+        if not times:
+            return 0
+        best = 1
+        right = 0
+        n = len(times)
+        for left in range(n):
+            if right < left:
+                right = left
+            while right + 1 < n and times[right + 1] < times[left] + window:
+                right += 1
+            best = max(best, right - left + 1)
+        return best
+
+    def check(
+        self,
+        period: float,
+        capacity: int,
+        windows: Optional[List[float]] = None,
+    ) -> List[RateLimitViolation]:
+        """Verify the §3.4 bound for every node over the given windows.
+
+        Parameters
+        ----------
+        period:
+            The round length Δ.
+        capacity:
+            The strategy's token capacity ``C``.
+        windows:
+            Window lengths to audit; defaults to ``Δ/2``, ``Δ``, ``5Δ``
+            and ``20Δ`` which between them catch both instantaneous
+            bursts and sustained-rate violations.
+        """
+        if windows is None:
+            windows = [period / 2, period, 5 * period, 20 * period]
+        violations: List[RateLimitViolation] = []
+        for node_id, times in self.send_times.items():
+            for window in windows:
+                bound = burst_bound(window, period, capacity)
+                count = self.max_sends_in_window(node_id, window)
+                if count > bound:
+                    start = self._worst_window_start(times, window)
+                    violations.append(
+                        RateLimitViolation(node_id, start, window, count, bound)
+                    )
+        return violations
+
+    @staticmethod
+    def _worst_window_start(times: List[float], window: float) -> float:
+        best_count = 0
+        best_start = times[0] if times else 0.0
+        right = 0
+        n = len(times)
+        for left in range(n):
+            if right < left:
+                right = left
+            while right + 1 < n and times[right + 1] < times[left] + window:
+                right += 1
+            if right - left + 1 > best_count:
+                best_count = right - left + 1
+                best_start = times[left]
+        return best_start

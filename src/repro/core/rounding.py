@@ -1,0 +1,49 @@
+"""Probabilistic rounding (``randRound`` in Algorithm 4).
+
+The reactive function may return a fractional number of messages ``r``
+(the randomized token account returns ``a / A``). Algorithm 4 rounds it
+probabilistically: the result is ``⌊r⌋ + ξ`` where
+``ξ ~ Bernoulli(r − ⌊r⌋)``. The expectation of the rounded value equals
+``r`` exactly, which is what makes the mean-field analysis of §4.3 apply
+to the randomized strategy without bias.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+def rand_round(value: float, rng: random.Random) -> int:
+    """Round ``value`` to an integer, up with probability ``frac(value)``.
+
+    Parameters
+    ----------
+    value:
+        A non-negative real number (the reactive function's output).
+    rng:
+        Source of the Bernoulli draw.
+
+    Returns
+    -------
+    int
+        Either ``⌊value⌋`` or ``⌈value⌉``; the expectation is ``value``.
+
+    Examples
+    --------
+    >>> import random
+    >>> rand_round(3.0, random.Random(0))
+    3
+    >>> results = {rand_round(2.5, random.Random(i)) for i in range(50)}
+    >>> sorted(results)
+    [2, 3]
+    """
+    if value < 0:
+        raise ValueError(f"rand_round expects a non-negative value, got {value}")
+    floor = math.floor(value)
+    fraction = value - floor
+    if fraction <= 0.0:
+        return int(floor)
+    if rng.random() < fraction:
+        return int(floor) + 1
+    return int(floor)

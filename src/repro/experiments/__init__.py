@@ -1,0 +1,29 @@
+"""Experiment harness: scenario assembly, sweeps, figures and reports.
+
+* :mod:`repro.experiments.config` — declarative experiment configuration
+  with the paper's defaults (§4.1).
+* :mod:`repro.experiments.runner` — builds a configured simulation
+  (overlay, nodes, churn, injectors, collectors) and runs it to the
+  horizon, returning time series and accounting.
+* :mod:`repro.experiments.scale` — CI / medium / paper scale presets
+  selected via the ``REPRO_SCALE`` environment variable.
+* :mod:`repro.experiments.figures` — the per-figure harnesses (Figures
+  1–5) that the benchmark suite calls.
+* :mod:`repro.experiments.sweep` — the §4.2 parameter-space exploration.
+* :mod:`repro.experiments.report` — ASCII rendering of series tables and
+  the speedup-versus-proactive summaries.
+"""
+
+from repro.experiments.config import PAPER, ExperimentConfig
+from repro.experiments.runner import Experiment, ExperimentResult, run_experiment
+from repro.experiments.scale import ScalePreset, current_scale
+
+__all__ = [
+    "Experiment",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "PAPER",
+    "ScalePreset",
+    "current_scale",
+    "run_experiment",
+]

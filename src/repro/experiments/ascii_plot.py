@@ -1,0 +1,145 @@
+"""Terminal line charts for experiment series.
+
+The evaluation environment has no plotting stack, so the CLI and the
+benches can render figures as ASCII charts: one marker character per
+series, resampled onto a fixed-size character grid, with optional log
+scale (useful for the convergence metrics that span decades).
+
+Example output (two series, 60x12)::
+
+    gossip learning, failure-free
+    0.82 |                               bbbbbbbbbbbbbbbbbbbbbb
+         |                        bbbbbbb
+         |                   bbbbb
+         |              bbbbb
+         |          bbbb
+    0.41 |       bbb
+         |     bb
+         |    b
+         |   b
+         |  b
+         | b aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa
+    0.00 |baa
+         +------------------------------------------------------
+          0.0h                        24.0h                48.0h
+    a = proactive   b = randomized A=10 C=20
+"""
+
+from __future__ import annotations
+
+import math
+import string
+from typing import Dict, Optional
+
+from repro.metrics.series import TimeSeries
+
+#: marker characters assigned to series in insertion order
+MARKERS = string.ascii_lowercase
+
+
+def ascii_chart(
+    series_by_label: Dict[str, TimeSeries],
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = False,
+    title: str = "",
+    time_unit: float = 3600.0,
+    time_suffix: str = "h",
+) -> str:
+    """Render several time series as one ASCII line chart.
+
+    Parameters
+    ----------
+    series_by_label:
+        Labeled series; up to 26 (one marker letter each). Later series
+        draw over earlier ones where they collide.
+    width, height:
+        Plot area size in characters (excluding axes).
+    log_y:
+        Log-scale the value axis; non-positive values are clamped to the
+        smallest positive value present.
+    title:
+        Optional heading line.
+    time_unit, time_suffix:
+        Scaling for the x-axis labels (default: hours).
+    """
+    populated = {
+        label: series for label, series in series_by_label.items() if not series.empty
+    }
+    if not populated:
+        return "(no data to plot)"
+    if len(populated) > len(MARKERS):
+        raise ValueError(f"too many series to plot: {len(populated)}")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+
+    t_min = min(series.times[0] for series in populated.values())
+    t_max = max(series.times[-1] for series in populated.values())
+    span = t_max - t_min or 1.0
+
+    values = [v for series in populated.values() for v in series.values]
+    if log_y:
+        positive = [v for v in values if v > 0]
+        if not positive:
+            raise ValueError("log scale requires at least one positive value")
+        floor = min(positive)
+        values = [max(v, floor) for v in values]
+    v_min, v_max = min(values), max(values)
+    v_span = (v_max - v_min) or 1.0
+
+    def value_to_row(value: float) -> int:
+        if log_y:
+            value = max(value, v_min)
+            position = (math.log(value) - math.log(v_min)) / (
+                (math.log(v_max) - math.log(v_min)) or 1.0
+            )
+        else:
+            position = (value - v_min) / v_span
+        return min(height - 1, max(0, round(position * (height - 1))))
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (label, series) in zip(MARKERS, populated.items()):
+        for column in range(width):
+            time = t_min + span * column / (width - 1)
+            if time < series.times[0] - 1e-9:
+                continue
+            try:
+                value = series.value_at(time)
+            except ValueError:
+                continue
+            row = value_to_row(max(value, v_min) if log_y else value)
+            grid[height - 1 - row][column] = marker
+
+    def axis_label(value: float) -> str:
+        return f"{value:8.3g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = axis_label(v_max)
+        elif row_index == height - 1:
+            prefix = axis_label(v_min)
+        elif row_index == height // 2:
+            midpoint = (
+                math.exp((math.log(v_min) + math.log(v_max)) / 2)
+                if log_y
+                else (v_min + v_max) / 2
+            )
+            prefix = axis_label(midpoint)
+        else:
+            prefix = " " * 8
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * 8 + " +" + "-" * width)
+    left = f"{t_min / time_unit:.1f}{time_suffix}"
+    right = f"{t_max / time_unit:.1f}{time_suffix}"
+    middle = f"{(t_min + span / 2) / time_unit:.1f}{time_suffix}"
+    gap_total = width - len(left) - len(middle) - len(right)
+    gap = max(1, gap_total // 2)
+    lines.append(" " * 10 + left + " " * gap + middle + " " * gap + right)
+    legend = "   ".join(
+        f"{marker} = {label}" for marker, label in zip(MARKERS, populated)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

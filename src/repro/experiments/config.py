@@ -1,0 +1,182 @@
+"""Declarative experiment configuration with the paper's defaults (§4.1).
+
+An :class:`ExperimentConfig` fully determines a run: application,
+strategy, parameters A/C, network, timing, scenario and seed. Identical
+configs produce identical results.
+
+The module constant :data:`PAPER` collects the published constants:
+Δ = 172.8 s (1,000 periods over two days), transfer time 1.728 s (Δ/100),
+20-out overlay, Watts–Strogatz (4, 0.01) for chaotic iteration, one
+update injection per 17.28 s for push gossip, zero initial tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.strategies import Strategy, make_strategy
+
+#: applications known to the runner
+APPLICATIONS = (
+    "gossip-learning",
+    "push-gossip",
+    "push-pull-gossip",
+    "chaotic-iteration",
+    "replication-repair",
+)
+
+#: scenarios known to the runner
+SCENARIOS = ("failure-free", "trace")
+
+
+@dataclass(frozen=True)
+class PaperConstants:
+    """The fixed experimental constants of §4.1."""
+
+    #: proactive period Δ in seconds ("allowing for 1000 periods during
+    #: the two-day interval")
+    period: float = 172.8
+    #: transfer time for one message ("1.728 s, a hundredth of the
+    #: proactive period")
+    transfer_time: float = 1.728
+    #: out-degree of the random overlay ("a fixed 20-out network")
+    out_degree: int = 20
+    #: Watts–Strogatz ring degree ("connected to its closest 4 neighbors")
+    ws_degree: int = 4
+    #: Watts–Strogatz rewiring probability ("a probability of 0.01")
+    ws_rewire: float = 0.01
+    #: push gossip injection period ("17.28 s, that is, ... 10 updates in
+    #: every proactive period")
+    inject_interval: float = 17.28
+    #: initial tokens ("the number of initial tokens ... is zero")
+    initial_tokens: int = 0
+    #: push gossip smoothing window ("averaging measurements over 15
+    #: minute periods")
+    smoothing_window: float = 900.0
+    #: network sizes of the paper's experiments
+    n_small: int = 5000
+    n_large: int = 500_000
+    periods: int = 1000
+
+
+PAPER = PaperConstants()
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything needed to reproduce one simulation run.
+
+    Parameters mirror the paper: ``strategy`` is one of ``proactive`` /
+    ``simple`` / ``generalized`` / ``randomized`` (plus the ``reactive``
+    reference), ``spend_rate`` is A, ``capacity`` is C.
+    """
+
+    app: str
+    strategy: str
+    spend_rate: Optional[int] = None
+    capacity: Optional[int] = None
+    n: int = PAPER.n_small
+    periods: int = PAPER.periods
+    period: float = PAPER.period
+    transfer_time: float = PAPER.transfer_time
+    scenario: str = "failure-free"
+    seed: int = 1
+    out_degree: int = PAPER.out_degree
+    ws_degree: int = PAPER.ws_degree
+    ws_rewire: float = PAPER.ws_rewire
+    inject_interval: float = PAPER.inject_interval
+    initial_tokens: int = PAPER.initial_tokens
+    #: metric sampling interval; defaults to Δ/2
+    sample_interval: Optional[float] = None
+    #: collect the average token balance series (Figure 5)
+    collect_tokens: bool = False
+    #: record per-node send timestamps for burst auditing
+    audit_sends: bool = False
+    #: §4.1.2 pull request on rejoin (trace scenario, push gossip)
+    pull_on_rejoin: bool = True
+    #: ablation: route injected updates through the reactive path
+    reactive_injection: bool = False
+    #: purely reactive reference fanout (strategy == "reactive" only)
+    reactive_fanout: int = 1
+    #: i.i.d. in-transit message drop probability (fault injection; the
+    #: paper's default is reliable transfer, i.e. 0.0)
+    loss_rate: float = 0.0
+    #: graded usefulness scale (§3.1 future work); None keeps the
+    #: paper's boolean usefulness
+    grading_scale: Optional[float] = None
+    #: replication-repair (§5 extension): replicas per object
+    target_replication: int = 3
+    #: replication-repair: objects placed per node
+    objects_per_node: float = 1.0
+    #: replication-repair: fraction of nodes failing permanently
+    fail_fraction: float = 0.2
+    #: replication-repair: failure window as fractions of the horizon
+    #: (narrow window = correlated failure burst)
+    fail_window: tuple = (0.25, 0.35)
+    #: replication-repair: failure detection delay; None = one period
+    detection_delay: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.app not in APPLICATIONS:
+            raise ValueError(
+                f"unknown app {self.app!r}; expected one of {APPLICATIONS}"
+            )
+        if self.scenario not in SCENARIOS:
+            raise ValueError(
+                f"unknown scenario {self.scenario!r}; expected one of {SCENARIOS}"
+            )
+        if self.app == "chaotic-iteration" and self.scenario == "trace":
+            raise ValueError(
+                "chaotic iteration is not defined under churn (§4.2: 'it is "
+                "not possible to define convergence for this application')"
+            )
+        if self.app == "replication-repair":
+            if self.scenario == "trace":
+                raise ValueError(
+                    "replication-repair uses permanent failures, not the "
+                    "churn trace (offline != failed)"
+                )
+            if not 0.0 <= self.fail_fraction < 1.0:
+                raise ValueError(
+                    f"fail_fraction must be in [0, 1), got {self.fail_fraction}"
+                )
+            if not 0.0 <= self.fail_window[0] <= self.fail_window[1] <= 1.0:
+                raise ValueError(f"invalid fail_window {self.fail_window}")
+            if self.target_replication < 1:
+                raise ValueError("target_replication must be >= 1")
+        if self.n < 2:
+            raise ValueError(f"need at least 2 nodes, got {self.n}")
+        if self.periods < 1:
+            raise ValueError(f"need at least 1 period, got {self.periods}")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+        # Fail fast on invalid strategy parameters.
+        self.make_strategy()
+
+    # ------------------------------------------------------------------
+    @property
+    def horizon(self) -> float:
+        """Total simulated time in seconds."""
+        return self.periods * self.period
+
+    @property
+    def effective_sample_interval(self) -> float:
+        return self.sample_interval if self.sample_interval else self.period / 2
+
+    def make_strategy(self) -> Strategy:
+        """Instantiate the configured strategy."""
+        return make_strategy(
+            self.strategy,
+            spend_rate=self.spend_rate,
+            capacity=self.capacity,
+            fanout=self.reactive_fanout,
+        )
+
+    def label(self) -> str:
+        """Short human-readable label for reports and plots."""
+        return f"{self.app}/{self.make_strategy().describe()}/{self.scenario}"
+
+    def with_overrides(self, **overrides) -> "ExperimentConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)

@@ -1,0 +1,154 @@
+"""Export experiment results and figure data to CSV / JSON.
+
+Downstream users typically want the raw series for their own plotting
+stack. Two formats:
+
+* **CSV** — one row per sample; figure data is written wide (one column
+  per labeled series, empty cells where a series has no sample at that
+  time).
+* **JSON** — a self-describing document including the configuration, the
+  series, and the accounting; round-trips through
+  :func:`load_result_json`.
+
+Used by the CLI (``--save out.json`` / ``--save out.csv``) and directly::
+
+    from repro.experiments.export import save_result
+    save_result(result, "run.json")
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.experiments.figures import FigureData
+from repro.experiments.runner import ExperimentResult
+from repro.metrics.series import TimeSeries
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# Experiment results
+# ----------------------------------------------------------------------
+def result_to_dict(result: ExperimentResult) -> dict:
+    """A JSON-serializable view of an experiment result."""
+    config = dataclasses.asdict(result.config)
+    # Tuples are not JSON round-trippable; normalize.
+    config = {
+        key: list(value) if isinstance(value, tuple) else value
+        for key, value in config.items()
+    }
+    document = {
+        "format": "repro-result-v1",
+        "label": result.label,
+        "config": config,
+        "metric": {
+            "times": list(result.metric.times),
+            "values": list(result.metric.values),
+        },
+        "data_messages": result.data_messages,
+        "messages_per_node_per_period": result.messages_per_node_per_period,
+        "network": {
+            "sent": result.network.sent,
+            "delivered": result.network.delivered,
+            "lost_offline": result.network.lost_offline,
+            "lost_dropped": result.network.lost_dropped,
+            "by_kind": dict(result.network.by_kind),
+        },
+        "ratelimit_violations": len(result.ratelimit_violations),
+        "surviving_walks": result.surviving_walks,
+        "elapsed_seconds": result.elapsed,
+    }
+    if result.tokens is not None:
+        document["tokens"] = {
+            "times": list(result.tokens.times),
+            "values": list(result.tokens.values),
+        }
+    return document
+
+
+def save_result(result: ExperimentResult, path: PathLike) -> None:
+    """Write a result as JSON (``.json``) or CSV (anything else)."""
+    path = Path(path)
+    if path.suffix.lower() == ".json":
+        path.write_text(
+            json.dumps(result_to_dict(result), indent=2), encoding="utf-8"
+        )
+    else:
+        _write_series_csv(path, {"metric": result.metric})
+
+
+def load_result_json(path: PathLike) -> dict:
+    """Load a JSON result document, restoring the series objects.
+
+    Returns the document dict with ``metric`` (and ``tokens`` if present)
+    replaced by :class:`TimeSeries` instances.
+    """
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    if document.get("format") != "repro-result-v1":
+        raise ValueError(f"{path}: not a repro result document")
+    document["metric"] = TimeSeries(
+        zip(document["metric"]["times"], document["metric"]["values"])
+    )
+    if "tokens" in document:
+        document["tokens"] = TimeSeries(
+            zip(document["tokens"]["times"], document["tokens"]["values"])
+        )
+    return document
+
+
+# ----------------------------------------------------------------------
+# Figure data
+# ----------------------------------------------------------------------
+def figure_to_dict(data: FigureData) -> dict:
+    """A JSON-serializable view of a figure's series and metadata."""
+    return {
+        "format": "repro-figure-v1",
+        "name": data.name,
+        "description": data.description,
+        "scale": data.scale_label,
+        "series": {
+            label: {"times": list(series.times), "values": list(series.values)}
+            for label, series in data.series.items()
+        },
+        "message_rates": dict(data.message_rates),
+        "extras": {
+            key: value
+            for key, value in data.extras.items()
+            if isinstance(value, (int, float, str, dict, list))
+        },
+    }
+
+
+def save_figure(data: FigureData, path: PathLike) -> None:
+    """Write figure data as JSON (``.json``) or wide CSV (anything else)."""
+    path = Path(path)
+    if path.suffix.lower() == ".json":
+        path.write_text(json.dumps(figure_to_dict(data), indent=2), encoding="utf-8")
+    else:
+        _write_series_csv(path, data.series)
+
+
+# ----------------------------------------------------------------------
+def _write_series_csv(path: Path, series_by_label: Dict[str, TimeSeries]) -> None:
+    """Wide CSV: a shared time column plus one column per series."""
+    all_times = sorted(
+        {time for series in series_by_label.values() for time in series.times}
+    )
+    lookup = {
+        label: dict(zip(series.times, series.values))
+        for label, series in series_by_label.items()
+    }
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time"] + list(series_by_label))
+        for time in all_times:
+            row = [repr(time)]
+            for label in series_by_label:
+                value = lookup[label].get(time)
+                row.append("" if value is None else repr(value))
+            writer.writerow(row)

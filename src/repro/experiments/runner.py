@@ -1,0 +1,365 @@
+"""Build and run configured experiments.
+
+:func:`run_experiment` is the one-call entry point used by tests,
+benches and examples::
+
+    from repro.experiments import ExperimentConfig, run_experiment
+
+    result = run_experiment(ExperimentConfig(
+        app="push-gossip", strategy="randomized", spend_rate=10,
+        capacity=20, n=500, periods=100, seed=7,
+    ))
+    print(result.metric.final())
+
+Assembly (matching §4.1):
+
+* one root seed feeds named streams for overlay wiring, node phases,
+  protocol coin flips, peer sampling, churn trace and update injection —
+  so changing the strategy does not perturb the overlay or the trace;
+* gossip learning and push gossip run over the random 20-out overlay,
+  chaotic iteration over the Watts–Strogatz ring;
+* in the trace scenario a synthetic STUNner-like trace drives churn and
+  metrics average over online nodes only.
+"""
+
+from __future__ import annotations
+
+import time as _wallclock
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.apps.chaotic_iteration import ChaoticIterationMetric, build_chaotic_apps
+from repro.apps.gossip_learning import GossipLearningApp, GossipLearningMetric
+from repro.apps.replication import (
+    FailureDetector,
+    PermanentFailureInjector,
+    ReplicationApp,
+    ReplicationMetric,
+    place_objects,
+)
+from repro.apps.push_gossip import (
+    PushGossipApp,
+    PushGossipMetric,
+    PushPullGossipApp,
+    UpdateInjector,
+)
+from repro.churn.schedule import ChurnSchedule
+from repro.churn.stunner import StunnerTraceConfig, generate_stunner_like_trace
+from repro.core.protocol import TokenAccountNode
+from repro.core.ratelimit import RateLimitAuditor
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.collectors import MetricCollector, TokenBalanceCollector
+from repro.metrics.series import TimeSeries
+from repro.overlay.kout import random_kout_overlay
+from repro.overlay.peer_sampling import PeerSampler
+from repro.overlay.watts_strogatz import watts_strogatz_overlay
+from repro.sim.engine import Simulator
+from repro.sim.network import Network, NetworkStats
+from repro.sim.randomness import RandomStreams
+
+
+@dataclass
+class ExperimentResult:
+    """Time series and accounting from one finished run."""
+
+    config: ExperimentConfig
+    label: str
+    #: the application's performance metric over time
+    metric: TimeSeries
+    #: average token balance over time (only when ``collect_tokens``)
+    tokens: Optional[TimeSeries]
+    #: transport counters
+    network: NetworkStats
+    #: total Algorithm-4 data messages sent
+    data_messages: int
+    #: data messages per node per period — the communication *rate*,
+    #: which the token account service must keep at the proactive level
+    messages_per_node_per_period: float
+    #: §3.4 burst-bound violations (only when ``audit_sends``); must be []
+    ratelimit_violations: List = field(default_factory=list)
+    #: surviving distinct random walks (gossip learning only, §4.2)
+    surviving_walks: Optional[int] = None
+    #: wall-clock seconds the run took
+    elapsed: float = 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        parts = [
+            self.label,
+            f"final={self.metric.final():.4g}" if not self.metric.empty else "final=n/a",
+            f"msgs/node/period={self.messages_per_node_per_period:.3f}",
+        ]
+        if self.tokens is not None and not self.tokens.empty:
+            parts.append(f"avg-tokens={self.tokens.final():.2f}")
+        if self.surviving_walks is not None:
+            parts.append(f"walks={self.surviving_walks}")
+        return "  ".join(parts)
+
+
+class Experiment:
+    """A fully wired simulation, ready to run."""
+
+    def __init__(self, config: ExperimentConfig):
+        self.config = config
+        streams = RandomStreams(config.seed)
+        self.sim = Simulator()
+        self.network = Network(
+            self.sim,
+            config.transfer_time,
+            loss_rate=config.loss_rate,
+            loss_rng=(
+                streams.stream("message-loss") if config.loss_rate > 0 else None
+            ),
+        )
+        if config.audit_sends:
+            self.network.enable_send_log()
+            self.auditor: Optional[RateLimitAuditor] = RateLimitAuditor(self.network)
+        else:
+            self.auditor = None
+
+        # --- overlay -------------------------------------------------
+        if config.app == "chaotic-iteration":
+            self.overlay = watts_strogatz_overlay(
+                config.n, config.ws_degree, config.ws_rewire, streams.stream("overlay")
+            )
+        else:
+            self.overlay = random_kout_overlay(
+                config.n, config.out_degree, streams.stream("overlay")
+            )
+        self.sampler = PeerSampler(
+            self.overlay, self.network, streams.stream("peer-sampling")
+        )
+
+        # --- churn ----------------------------------------------------
+        self.trace = None
+        self.schedule = None
+        if config.scenario == "trace":
+            trace_config = StunnerTraceConfig(horizon=config.horizon)
+            self.trace = generate_stunner_like_trace(
+                config.n, streams.stream("churn"), trace_config
+            )
+            self.schedule = ChurnSchedule(self.trace)
+
+        # --- applications & nodes -------------------------------------
+        strategy = config.make_strategy()
+        phase_rng = streams.stream("phases")
+        protocol_rng = streams.stream("protocol")
+        if config.app == "chaotic-iteration":
+            apps = build_chaotic_apps(
+                self.overlay, grading_scale=config.grading_scale
+            )
+        elif config.app == "gossip-learning":
+            apps = [
+                GossipLearningApp(grading_scale=config.grading_scale)
+                for _ in range(config.n)
+            ]
+        elif config.app == "replication-repair":
+            apps = [
+                ReplicationApp(config.target_replication)
+                for _ in range(config.n)
+            ]
+        else:
+            app_class = (
+                PushPullGossipApp
+                if config.app == "push-pull-gossip"
+                else PushGossipApp
+            )
+            apps = [
+                app_class(
+                    pull_on_rejoin=config.pull_on_rejoin,
+                    grading_scale=config.grading_scale,
+                )
+                for _ in range(config.n)
+            ]
+        self.nodes: List[TokenAccountNode] = []
+        for node_id in range(config.n):
+            online = True
+            if self.schedule is not None:
+                online = self.schedule.initial_online(node_id)
+            node = TokenAccountNode(
+                node_id=node_id,
+                sim=self.sim,
+                network=self.network,
+                peer_sampler=self.sampler,
+                strategy=strategy,
+                app=apps[node_id],
+                period=config.period,
+                rng=protocol_rng,
+                initial_tokens=config.initial_tokens,
+                online=online,
+            )
+            # Each node gets its own phase but shares the protocol rng;
+            # event order is deterministic, so this is reproducible and
+            # avoids half a million Mersenne Twister states.
+            node.process.phase = phase_rng.random() * config.period
+            self.network.register(node)
+            self.nodes.append(node)
+
+        # --- replication-repair substrate -------------------------------
+        self.placement = None
+        self.failure_injector = None
+        self.failure_detector = None
+        if config.app == "replication-repair":
+            n_objects = max(1, round(config.n * config.objects_per_node))
+            self.placement = place_objects(
+                apps,
+                n_objects,
+                config.target_replication,
+                streams.stream("placement"),
+            )
+            self.failure_detector = FailureDetector(
+                self.sim,
+                self.nodes,
+                delay=(
+                    config.detection_delay
+                    if config.detection_delay is not None
+                    else config.period
+                ),
+            )
+            self.failure_injector = PermanentFailureInjector(
+                self.sim,
+                self.nodes,
+                self.failure_detector,
+                config.fail_fraction,
+                streams.stream("failures"),
+                start=config.horizon * config.fail_window[0],
+                end=config.horizon * config.fail_window[1],
+            )
+
+        # --- purely reactive bootstrap ---------------------------------
+        # The flooding reference never initiates (proactive = 0); kick one
+        # message per node at its phase so the cascades exist at all.
+        if config.strategy == "reactive":
+            for node in self.nodes:
+                self.sim.schedule_at(node.process.phase, node.kick)
+
+        # --- workload -------------------------------------------------
+        self.injector: Optional[UpdateInjector] = None
+        if config.app in ("push-gossip", "push-pull-gossip"):
+            self.injector = UpdateInjector(
+                self.sim,
+                self.nodes,
+                config.inject_interval,
+                streams.stream("injector"),
+                reactive_injection=config.reactive_injection,
+            )
+
+        # --- metrics ---------------------------------------------------
+        if config.app == "gossip-learning":
+            self._metric_obj = GossipLearningMetric(self.nodes, config.transfer_time)
+        elif config.app in ("push-gossip", "push-pull-gossip"):
+            assert self.injector is not None
+            self._metric_obj = PushGossipMetric(self.nodes, self.injector)
+        elif config.app == "replication-repair":
+            n_objects = max(1, round(config.n * config.objects_per_node))
+            self._metric_obj = ReplicationMetric(
+                self.nodes, n_objects, config.target_replication
+            )
+        else:
+            self._metric_obj = ChaoticIterationMetric(self.nodes, overlay=self.overlay)
+        self.collector = MetricCollector(
+            self.sim, config.effective_sample_interval, self._metric_obj
+        )
+        self.token_collector: Optional[TokenBalanceCollector] = None
+        if config.collect_tokens:
+            self.token_collector = TokenBalanceCollector(
+                self.sim, config.effective_sample_interval, self.nodes
+            )
+
+    # ------------------------------------------------------------------
+    def run(self) -> ExperimentResult:
+        """Execute the run to the horizon and assemble the result."""
+        config = self.config
+        started = _wallclock.perf_counter()
+        if self.schedule is not None:
+            self.schedule.apply(self.sim, self.nodes)
+        for node in self.nodes:
+            node.start()
+        if self.injector is not None:
+            self.injector.start()
+        self.collector.start()
+        if self.token_collector is not None:
+            self.token_collector.start()
+        self.sim.run(until=config.horizon)
+        elapsed = _wallclock.perf_counter() - started
+
+        data_messages = self.network.stats.by_kind.get("data", 0)
+        violations: List = []
+        if self.auditor is not None and self.config.strategy != "reactive":
+            capacity = config.make_strategy().token_capacity or 0
+            violations = self.auditor.check(config.period, capacity)
+        surviving = None
+        if config.app == "gossip-learning":
+            surviving = self._metric_obj.surviving_lineages()  # type: ignore[union-attr]
+        return ExperimentResult(
+            config=config,
+            label=config.label(),
+            metric=self.collector.series,
+            tokens=(
+                self.token_collector.series if self.token_collector else None
+            ),
+            network=self.network.stats,
+            data_messages=data_messages,
+            messages_per_node_per_period=data_messages / (config.n * config.periods),
+            ratelimit_violations=violations,
+            surviving_walks=surviving,
+            elapsed=elapsed,
+        )
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Build and run one experiment (the main library entry point)."""
+    return Experiment(config).run()
+
+
+def run_averaged(
+    config: ExperimentConfig, repeats: int, seed_offset: int = 1000
+) -> ExperimentResult:
+    """Average the metric over ``repeats`` independent seeds (§4.2 runs 10).
+
+    Series are averaged pointwise; all runs share the sampling grid, so
+    this matches the paper's "the average of these runs is shown".
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    results = [
+        run_experiment(config.with_overrides(seed=config.seed + i * seed_offset))
+        for i in range(repeats)
+    ]
+    if repeats == 1:
+        return results[0]
+    base = results[0]
+    merged_metric = _average_series([r.metric for r in results])
+    merged_tokens = None
+    if base.tokens is not None:
+        merged_tokens = _average_series(
+            [r.tokens for r in results if r.tokens is not None]
+        )
+    total_data = sum(r.data_messages for r in results)
+    return ExperimentResult(
+        config=base.config,
+        label=base.label,
+        metric=merged_metric,
+        tokens=merged_tokens,
+        network=base.network,
+        data_messages=total_data // repeats,
+        messages_per_node_per_period=(
+            sum(r.messages_per_node_per_period for r in results) / repeats
+        ),
+        ratelimit_violations=[v for r in results for v in r.ratelimit_violations],
+        surviving_walks=base.surviving_walks,
+        elapsed=sum(r.elapsed for r in results),
+    )
+
+
+def _average_series(series_list: List[TimeSeries]) -> TimeSeries:
+    """Pointwise average of series sharing (approximately) one time grid."""
+    if not series_list:
+        raise ValueError("no series to average")
+    shortest = min(len(s) for s in series_list)
+    averaged = TimeSeries()
+    for index in range(shortest):
+        time = series_list[0].times[index]
+        value = sum(s.values[index] for s in series_list) / len(series_list)
+        averaged.append(time, value)
+    return averaged

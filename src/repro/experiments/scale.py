@@ -1,0 +1,76 @@
+"""Scale presets for the benchmark harness.
+
+The paper's evaluation simulates N = 5,000 nodes for 1,000 periods (and
+N = 500,000 in Figure 4). A pure-Python discrete-event simulation of the
+full setup is hours of wall-clock per run, so the benches run a scaled
+configuration by default and accept an environment variable to restore
+the paper's numbers::
+
+    REPRO_SCALE=ci      # default: minutes for the whole bench suite
+    REPRO_SCALE=medium  # tens of minutes; tighter to the paper's curves
+    REPRO_SCALE=paper   # the published N / periods / repetitions
+
+Every scaled-down dimension preserves the phenomena the figures
+demonstrate (see DESIGN.md, substitutions 4 and 5): the crossovers happen
+within the first quarter of the simulated window and at network sizes two
+orders of magnitude below the published ones, because they are driven by
+the ratio Δ/transfer-time (fixed at 100, as published) and by the token
+parameters A and C (always exactly as published).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    """One bench scale: network sizes, horizon, and repetition count."""
+
+    name: str
+    #: network size for Figure 2/3/5 style experiments (paper: 5,000)
+    n: int
+    #: network size for the Figure 4 scalability experiment (paper: 500,000)
+    n_large: int
+    #: simulated proactive periods (paper: 1,000 = two days)
+    periods: int
+    #: independent repetitions to average (paper: 10)
+    repeats: int
+    #: trace segments for the Figure 1 statistics (paper: 40,658)
+    trace_users: int
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.name}(N={self.n}, N_large={self.n_large}, "
+            f"periods={self.periods}, repeats={self.repeats})"
+        )
+
+
+_PRESETS = {
+    "ci": ScalePreset(
+        name="ci", n=400, n_large=2000, periods=200, repeats=1, trace_users=2000
+    ),
+    "medium": ScalePreset(
+        name="medium", n=2000, n_large=20000, periods=500, repeats=2, trace_users=10000
+    ),
+    "paper": ScalePreset(
+        name="paper",
+        n=5000,
+        n_large=500_000,
+        periods=1000,
+        repeats=10,
+        trace_users=40_658,
+    ),
+}
+
+
+def current_scale() -> ScalePreset:
+    """The scale preset selected by ``REPRO_SCALE`` (default ``ci``)."""
+    name = os.environ.get("REPRO_SCALE", "ci").strip().lower()
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        valid = ", ".join(sorted(_PRESETS))
+        raise ValueError(f"REPRO_SCALE={name!r}; expected one of: {valid}") from None

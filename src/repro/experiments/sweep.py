@@ -1,0 +1,133 @@
+"""Parameter-space exploration (§4.2).
+
+"The parameter space included all the combinations defined by
+A = 1, 2, 5, 10, 15, 20, 40 and C − A = 0, 1, 2, 5, 10, 15, 20, 40, 80
+(note that we have to have A ≤ C)."
+
+:func:`parameter_grid` reproduces that grid; :func:`run_sweep` evaluates
+a figure-of-merit for every cell so that the bench can print the sweep
+table the paper's exploration is based on. At CI scale a thinned grid is
+used (the full grid is 63 cells × three strategies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.experiments.scale import ScalePreset, current_scale
+
+#: the paper's grid (§4.2)
+PAPER_A_VALUES: Tuple[int, ...] = (1, 2, 5, 10, 15, 20, 40)
+PAPER_C_MINUS_A: Tuple[int, ...] = (0, 1, 2, 5, 10, 15, 20, 40, 80)
+
+#: thinned grid used at CI scale
+QUICK_A_VALUES: Tuple[int, ...] = (1, 5, 10, 20)
+QUICK_C_MINUS_A: Tuple[int, ...] = (0, 5, 10)
+
+
+def parameter_grid(
+    a_values: Sequence[int] = PAPER_A_VALUES,
+    c_minus_a: Sequence[int] = PAPER_C_MINUS_A,
+) -> List[Tuple[int, int]]:
+    """All (A, C) combinations of the paper's sweep, with A <= C."""
+    grid = []
+    for a in a_values:
+        for gap in c_minus_a:
+            grid.append((a, a + gap))
+    return grid
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid cell's outcome."""
+
+    strategy: str
+    spend_rate: int
+    capacity: int
+    #: the application metric at the end of the run
+    final_metric: float
+    #: data messages per node per period (rate-limit sanity)
+    message_rate: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.strategy}(A={self.spend_rate}, C={self.capacity})"
+
+
+def run_sweep(
+    app: str,
+    strategy: str,
+    scale: Optional[ScalePreset] = None,
+    seed: int = 1,
+    a_values: Optional[Sequence[int]] = None,
+    c_minus_a: Optional[Sequence[int]] = None,
+    scenario: str = "failure-free",
+) -> List[SweepCell]:
+    """Evaluate one strategy over the (A, C) grid for one application.
+
+    The figure of merit is the final value of the application's metric
+    (relative speed for gossip learning — higher is better; lag for push
+    gossip and angle for chaotic iteration — lower is better).
+    """
+    scale = scale or current_scale()
+    if a_values is None:
+        a_values = PAPER_A_VALUES if scale.name == "paper" else QUICK_A_VALUES
+    if c_minus_a is None:
+        c_minus_a = PAPER_C_MINUS_A if scale.name == "paper" else QUICK_C_MINUS_A
+    cells: List[SweepCell] = []
+    for spend_rate, capacity in parameter_grid(a_values, c_minus_a):
+        if strategy == "simple" and spend_rate != a_values[0]:
+            continue  # the simple strategy has no A parameter
+        config = ExperimentConfig(
+            app=app,
+            strategy=strategy,
+            spend_rate=None if strategy == "simple" else spend_rate,
+            capacity=capacity,
+            n=scale.n,
+            periods=scale.periods,
+            scenario=scenario,
+            seed=seed,
+        )
+        result = run_experiment(config)
+        cells.append(
+            SweepCell(
+                strategy=strategy,
+                spend_rate=spend_rate,
+                capacity=capacity,
+                final_metric=result.metric.final(),
+                message_rate=result.messages_per_node_per_period,
+            )
+        )
+    return cells
+
+
+def format_sweep_table(cells: Sequence[SweepCell], higher_is_better: bool) -> str:
+    """Render sweep cells as an A x C matrix with the best cell marked."""
+    if not cells:
+        return "(empty sweep)"
+    a_values = sorted({cell.spend_rate for cell in cells})
+    c_values = sorted({cell.capacity for cell in cells})
+    lookup: Dict[Tuple[int, int], SweepCell] = {
+        (cell.spend_rate, cell.capacity): cell for cell in cells
+    }
+    best = (max if higher_is_better else min)(
+        cells, key=lambda cell: cell.final_metric
+    )
+    corner = "A \\ C"
+    header = f"{corner:>8} " + " ".join(f"{c:>10}" for c in c_values)
+    lines = [header, "-" * len(header)]
+    for a in a_values:
+        row = [f"{a:>8} "]
+        for c in c_values:
+            cell = lookup.get((a, c))
+            if cell is None:
+                row.append(f"{'-':>10}")
+            else:
+                marker = "*" if cell is best else " "
+                row.append(f"{cell.final_metric:>9.4g}{marker}")
+        lines.append(" ".join(row))
+    lines.append(f"(* best: {best.label} -> {best.final_metric:.4g})")
+    return "\n".join(lines)

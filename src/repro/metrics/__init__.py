@@ -1,0 +1,22 @@
+"""Performance metrics and time-series collection.
+
+* :mod:`repro.metrics.series` — a small time-series container with the
+  query helpers the evaluation needs (final value, crossing times,
+  resampling).
+* :mod:`repro.metrics.smoothing` — the 15-minute window averaging the
+  paper applies to the push gossip plots.
+* :mod:`repro.metrics.collectors` — periodic samplers that evaluate a
+  metric function against the running simulation (performance metrics,
+  token balances, message counters).
+"""
+
+from repro.metrics.collectors import MetricCollector, TokenBalanceCollector
+from repro.metrics.series import TimeSeries
+from repro.metrics.smoothing import window_average
+
+__all__ = [
+    "MetricCollector",
+    "TimeSeries",
+    "TokenBalanceCollector",
+    "window_average",
+]

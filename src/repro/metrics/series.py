@@ -1,0 +1,100 @@
+"""A minimal time series container used by collectors and reports."""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+
+
+class TimeSeries:
+    """An append-only series of ``(time, value)`` samples.
+
+    Times must be appended in non-decreasing order (collectors sample on
+    the simulator clock, which only moves forward).
+    """
+
+    def __init__(self, points: Iterable[Tuple[float, float]] = ()):
+        self.times: List[float] = []
+        self.values: List[float] = []
+        for time, value in points:
+            self.append(time, value)
+
+    def append(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"non-monotone append: t={time} after t={self.times[-1]}"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return iter(zip(self.times, self.values))
+
+    def __getitem__(self, index: int) -> Tuple[float, float]:
+        return self.times[index], self.values[index]
+
+    @property
+    def empty(self) -> bool:
+        return not self.times
+
+    def final(self) -> float:
+        """The last recorded value."""
+        if not self.values:
+            raise ValueError("empty series has no final value")
+        return self.values[-1]
+
+    def value_at(self, time: float) -> float:
+        """Value of the most recent sample at or before ``time``."""
+        index = bisect.bisect_right(self.times, time) - 1
+        if index < 0:
+            raise ValueError(f"no sample at or before t={time}")
+        return self.values[index]
+
+    def mean(self, start: float = -math.inf, end: float = math.inf) -> float:
+        """Arithmetic mean of samples with ``start <= t <= end``."""
+        selected = [v for t, v in self if start <= t <= end]
+        if not selected:
+            raise ValueError(f"no samples in [{start}, {end}]")
+        return sum(selected) / len(selected)
+
+    def min(self) -> float:
+        return min(self.values)
+
+    def max(self) -> float:
+        return max(self.values)
+
+    # ------------------------------------------------------------------
+    def first_time_below(self, threshold: float) -> Optional[float]:
+        """Earliest sample time with value < threshold, or ``None``."""
+        for time, value in self:
+            if value < threshold:
+                return time
+        return None
+
+    def first_time_at_least(self, threshold: float) -> Optional[float]:
+        """Earliest sample time with value >= threshold, or ``None``."""
+        for time, value in self:
+            if value >= threshold:
+                return time
+        return None
+
+    def map_values(self, fn: Callable[[float], float]) -> "TimeSeries":
+        """A new series with ``fn`` applied to every value."""
+        return TimeSeries((t, fn(v)) for t, v in self)
+
+    def tail(self, start: float) -> "TimeSeries":
+        """The sub-series with ``t >= start``."""
+        return TimeSeries((t, v) for t, v in self if t >= start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.empty:
+            return "TimeSeries(empty)"
+        return (
+            f"TimeSeries(n={len(self)}, t=[{self.times[0]:.1f}, "
+            f"{self.times[-1]:.1f}], last={self.values[-1]:.4g})"
+        )

@@ -1,0 +1,33 @@
+"""Overlay network substrate.
+
+The paper runs its protocols over two static overlays (§4.1):
+
+* a **fixed random 20-out network** — each node draws 20 out-neighbors
+  independently and uniformly at random, kept for the whole experiment
+  (":mod:`repro.overlay.kout`");
+* a **Watts–Strogatz small world** for chaotic power iteration — a ring
+  where every node is connected to its closest 4 neighbors, each link
+  rewired to a random target with probability 0.01
+  (":mod:`repro.overlay.watts_strogatz`").
+
+:mod:`repro.overlay.graph` provides the static directed-overlay container,
+:mod:`repro.overlay.matrix` derives the normalized weight matrix used by
+chaotic iteration (§2.4), and :mod:`repro.overlay.peer_sampling` implements
+the ``selectPeer()`` black box of the system model (§2.1) — uniform over
+the currently *online* out-neighbors.
+"""
+
+from repro.overlay.graph import Overlay
+from repro.overlay.kout import random_kout_overlay
+from repro.overlay.matrix import column_normalized_matrix, dominant_eigenvector
+from repro.overlay.peer_sampling import PeerSampler
+from repro.overlay.watts_strogatz import watts_strogatz_overlay
+
+__all__ = [
+    "Overlay",
+    "PeerSampler",
+    "column_normalized_matrix",
+    "dominant_eigenvector",
+    "random_kout_overlay",
+    "watts_strogatz_overlay",
+]

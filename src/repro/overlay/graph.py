@@ -1,0 +1,91 @@
+"""Static directed overlay graphs.
+
+An :class:`Overlay` is an immutable directed graph over nodes
+``0..n-1``. The token account protocols only ever need two queries:
+
+* ``out_neighbors(i)`` — whom can node ``i`` send to (``selectPeer``);
+* ``in_neighbors(i)`` — who feeds node ``i`` (chaotic iteration buffers).
+
+Out-adjacency is the primary representation; in-adjacency is derived
+lazily and cached, since only chaotic iteration needs it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+class Overlay:
+    """An immutable directed graph with dense integer node ids.
+
+    Parameters
+    ----------
+    out_neighbors:
+        ``out_neighbors[i]`` lists the targets of node ``i``'s out-links.
+        Self-loops and duplicate links are rejected: the paper's overlays
+        have neither, and both would corrupt peer-sampling uniformity.
+    """
+
+    def __init__(self, out_neighbors: Sequence[Sequence[int]]):
+        n = len(out_neighbors)
+        frozen: List[Tuple[int, ...]] = []
+        for i, targets in enumerate(out_neighbors):
+            targets = tuple(targets)
+            seen = set()
+            for t in targets:
+                if not 0 <= t < n:
+                    raise ValueError(f"node {i} links to out-of-range target {t}")
+                if t == i:
+                    raise ValueError(f"node {i} has a self-loop")
+                if t in seen:
+                    raise ValueError(f"node {i} has a duplicate link to {t}")
+                seen.add(t)
+            frozen.append(targets)
+        self._out: Tuple[Tuple[int, ...], ...] = tuple(frozen)
+        self._in: Tuple[Tuple[int, ...], ...] | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self._out)
+
+    @property
+    def num_edges(self) -> int:
+        """Total number of directed links."""
+        return sum(len(t) for t in self._out)
+
+    def out_neighbors(self, node_id: int) -> Tuple[int, ...]:
+        """Targets of ``node_id``'s out-links (possibly empty)."""
+        return self._out[node_id]
+
+    def in_neighbors(self, node_id: int) -> Tuple[int, ...]:
+        """Sources of links pointing at ``node_id`` (computed lazily)."""
+        if self._in is None:
+            incoming: List[List[int]] = [[] for _ in range(self.n)]
+            for src, targets in enumerate(self._out):
+                for dst in targets:
+                    incoming[dst].append(src)
+            self._in = tuple(tuple(sources) for sources in incoming)
+        return self._in[node_id]
+
+    def out_degree(self, node_id: int) -> int:
+        return len(self._out[node_id])
+
+    def in_degree(self, node_id: int) -> int:
+        return len(self.in_neighbors(node_id))
+
+    def edges(self) -> Iterable[Tuple[int, int]]:
+        """Iterate over all directed links as ``(src, dst)`` pairs."""
+        for src, targets in enumerate(self._out):
+            for dst in targets:
+                yield (src, dst)
+
+    # ------------------------------------------------------------------
+    def is_symmetric(self) -> bool:
+        """True if every link has a reverse link (undirected overlay)."""
+        edge_set = set(self.edges())
+        return all((dst, src) in edge_set for src, dst in edge_set)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Overlay(n={self.n}, edges={self.num_edges})"

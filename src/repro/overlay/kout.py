@@ -1,0 +1,57 @@
+"""Fixed random k-out overlay (§4.1).
+
+The paper's communication topology is "a fixed 20-out network (each node
+had 20 out neighbors that did not change through the experiment) ... drawn
+independently and uniformly at random". The paper motivates this as the
+simplest practical approximation of uniform peer sampling — 20 long-lived
+TCP connections per node.
+
+We draw, for every node, ``k`` *distinct* uniform out-neighbors excluding
+the node itself (a self-link or duplicate TCP connection would be
+meaningless operationally and would skew peer-sampling probabilities).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.overlay.graph import Overlay
+
+
+def random_kout_overlay(n: int, k: int, rng: random.Random) -> Overlay:
+    """Build a random ``k``-out overlay over ``n`` nodes.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes; must satisfy ``n > k`` so that every node can
+        find ``k`` distinct targets.
+    k:
+        Out-degree of every node (the paper uses 20).
+    rng:
+        Source of randomness (one dedicated stream per experiment).
+
+    Returns
+    -------
+    Overlay
+        A directed overlay where every node has exactly ``k`` out-links.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if n <= k:
+        raise ValueError(f"need n > k distinct targets, got n={n}, k={k}")
+    population = range(n)
+    out_neighbors = []
+    for i in range(n):
+        targets = rng.sample(population, k)
+        # Re-draw any slot that hit the node itself; keep distinctness.
+        while i in targets:
+            chosen = set(targets)
+            chosen.discard(i)
+            while len(chosen) < k:
+                candidate = rng.randrange(n)
+                if candidate != i:
+                    chosen.add(candidate)
+            targets = list(chosen)
+        out_neighbors.append(targets)
+    return Overlay(out_neighbors)

@@ -1,0 +1,89 @@
+"""Watts–Strogatz small-world overlay (§4.1.3).
+
+Chaotic power iteration needs a topology that does *not* mix too well —
+"the 20-out network mixes too well and power iteration converges too fast
+over this topology" — so the paper uses a Watts–Strogatz graph: a ring in
+which every node is connected to its closest 4 neighbors (two on each
+side), with every link rewired to a random target with probability 0.01.
+
+The construction below is the classic one from Watts & Strogatz (1998):
+
+1. start from the ring lattice with ``k`` nearest neighbors (``k`` even);
+2. for each node ``u`` and each of its ``k/2`` clockwise links ``(u, v)``,
+   with probability ``p`` replace the link by ``(u, w)`` where ``w`` is
+   uniform over nodes, avoiding self-loops and duplicate links.
+
+The result is kept *undirected* (every link is mirrored), matching the
+usage in the paper where the same graph defines both the communication
+channels and the weight matrix of the computational task.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Set
+
+from repro.overlay.graph import Overlay
+
+
+def watts_strogatz_overlay(n: int, k: int, p: float, rng: random.Random) -> Overlay:
+    """Build an undirected Watts–Strogatz overlay.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes; must exceed ``k``.
+    k:
+        Ring degree — each node starts connected to its ``k`` closest ring
+        neighbors. Must be even and ``>= 2``. The paper uses ``k = 4``.
+    p:
+        Per-link rewiring probability. The paper uses ``p = 0.01``.
+    rng:
+        Source of randomness.
+
+    Returns
+    -------
+    Overlay
+        A symmetric overlay (every directed link has its mirror).
+    """
+    if k % 2 != 0 or k < 2:
+        raise ValueError(f"k must be even and >= 2, got {k}")
+    if n <= k:
+        raise ValueError(f"need n > k, got n={n}, k={k}")
+    if not 0 <= p <= 1:
+        raise ValueError(f"rewiring probability must be in [0, 1], got {p}")
+
+    neighbor_sets: List[Set[int]] = [set() for _ in range(n)]
+
+    def add_edge(u: int, v: int) -> None:
+        neighbor_sets[u].add(v)
+        neighbor_sets[v].add(u)
+
+    def remove_edge(u: int, v: int) -> None:
+        neighbor_sets[u].discard(v)
+        neighbor_sets[v].discard(u)
+
+    for u in range(n):
+        for offset in range(1, k // 2 + 1):
+            add_edge(u, (u + offset) % n)
+
+    # Rewire clockwise links lattice-distance by lattice-distance, as in
+    # the original model, so short- and long-range links are treated alike.
+    for offset in range(1, k // 2 + 1):
+        for u in range(n):
+            v = (u + offset) % n
+            if v not in neighbor_sets[u]:
+                continue  # already rewired away by an earlier pass
+            if rng.random() >= p:
+                continue
+            w = rng.randrange(n)
+            attempts = 0
+            while w == u or w in neighbor_sets[u]:
+                w = rng.randrange(n)
+                attempts += 1
+                if attempts > 100 * n:  # pragma: no cover - degenerate density
+                    raise RuntimeError("could not find a rewiring target")
+            remove_edge(u, v)
+            add_edge(u, w)
+
+    return Overlay([sorted(neighbors) for neighbors in neighbor_sets])

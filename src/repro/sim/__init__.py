@@ -1,0 +1,36 @@
+"""Discrete-event simulation substrate.
+
+This subpackage replaces PeerSim (the simulator used in the paper) with a
+small, deterministic, event-driven engine:
+
+* :mod:`repro.sim.engine` — the event loop (virtual clock + binary heap).
+* :mod:`repro.sim.events` — schedulable events and cancellation handles.
+* :mod:`repro.sim.process` — periodic processes (the ``wait(Δ)`` loop of
+  the paper's pseudo-code) with per-node random phase.
+* :mod:`repro.sim.randomness` — named, reproducible random streams derived
+  from a single root seed.
+* :mod:`repro.sim.node` — node lifecycle (online/offline, message dispatch).
+* :mod:`repro.sim.network` — message transport with a fixed per-message
+  transfer time and loss on offline destinations.
+
+Everything in the package is deterministic given a root seed: two runs with
+the same configuration produce bit-identical event orders and results.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import EventHandle
+from repro.sim.network import Message, Network, NetworkStats
+from repro.sim.node import SimNode
+from repro.sim.process import PeriodicProcess
+from repro.sim.randomness import RandomStreams
+
+__all__ = [
+    "EventHandle",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "PeriodicProcess",
+    "RandomStreams",
+    "SimNode",
+    "Simulator",
+]

@@ -1,0 +1,189 @@
+"""Message transport with a fixed per-message transfer time.
+
+The paper's timing model (§4.1) assumes a reliable transfer protocol and a
+transfer time of 1.728 s per message — one hundredth of the proactive
+period Δ = 172.8 s. We model transfer time as latency: a message sent at
+``t`` is delivered at ``t + transfer_time``. By default there is no
+in-transit drop, matching the reliable-transfer assumption, but a message
+addressed to a node that is *offline at delivery time* is lost (the
+destination left the network, which the model explicitly permits).
+
+The paper's §2.1 notes "the protocols themselves do not require this
+[reliable transfer] assumption", and §3.3.1 claims the proactive
+component keeps the system alive "even under high message drop rates".
+To exercise that claim the transport also supports i.i.d. in-transit
+message loss (``loss_rate``), used by the fault-injection tests and the
+fault-tolerance bench.
+
+The transport also keeps per-node send accounting. This supports the
+rate-limit bound of §3.4 (a node sends at most ``⌊t/Δ⌋ + C`` messages in
+any window of length ``t``), which we audit in tests and benches via
+:class:`repro.core.ratelimit.RateLimitAuditor`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.sim.engine import Simulator
+from repro.sim.node import SimNode
+
+
+@dataclass(frozen=True)
+class Message:
+    """An application-layer message in flight.
+
+    Attributes
+    ----------
+    src:
+        Sender node id.
+    dst:
+        Destination node id.
+    payload:
+        Application-defined content (kept opaque by the transport).
+    kind:
+        Application-defined tag used for dispatch; the token account
+        protocol uses ``"data"`` for Algorithm 4 messages and push gossip
+        adds ``"pull-request"`` / ``"pull-reply"`` for the churn scenario.
+    sent_at:
+        Virtual send time.
+    """
+
+    src: int
+    dst: int
+    payload: Any
+    kind: str
+    sent_at: float
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate transport counters for one simulation run."""
+
+    sent: int = 0
+    delivered: int = 0
+    lost_offline: int = 0
+    lost_dropped: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def record_send(self, kind: str) -> None:
+        self.sent += 1
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+
+
+class Network:
+    """Routes messages between registered nodes with fixed latency.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event engine.
+    transfer_time:
+        Latency applied to every message, in virtual seconds.
+
+    Notes
+    -----
+    * Sending from an offline node is a programming error (protocols are
+      paused while offline) and raises.
+    * ``send_log_enabled`` turns on per-node timestamp logs used by the
+      burst auditor; it is off by default because half a million nodes
+      each logging every send is needless memory in large runs.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        transfer_time: float,
+        loss_rate: float = 0.0,
+        loss_rng: Optional[random.Random] = None,
+    ):
+        if transfer_time < 0:
+            raise ValueError(f"transfer_time must be >= 0, got {transfer_time}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        if loss_rate > 0.0 and loss_rng is None:
+            raise ValueError("a loss_rng is required when loss_rate > 0")
+        self.sim = sim
+        self.transfer_time = transfer_time
+        self.loss_rate = loss_rate
+        self.loss_rng = loss_rng
+        self.nodes: Dict[int, SimNode] = {}
+        self.stats = NetworkStats()
+        self.sent_per_node: Dict[int, int] = {}
+        self.send_log_enabled = False
+        self.send_log: Dict[int, List[float]] = {}
+        self._send_listeners: List[Callable[[Message], None]] = []
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, node: SimNode) -> None:
+        """Attach a node to the network; its id must be unique."""
+        if node.node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node.node_id}")
+        self.nodes[node.node_id] = node
+        self.sent_per_node[node.node_id] = 0
+
+    def register_all(self, nodes: Sequence[SimNode]) -> None:
+        for node in nodes:
+            self.register(node)
+
+    def node(self, node_id: int) -> SimNode:
+        return self.nodes[node_id]
+
+    def is_online(self, node_id: int) -> bool:
+        return self.nodes[node_id].online
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, payload: Any, kind: str = "data") -> Message:
+        """Send ``payload`` from ``src`` to ``dst``; returns the message.
+
+        Delivery is scheduled ``transfer_time`` seconds in the future and
+        silently dropped if the destination is offline at that instant.
+        """
+        sender = self.nodes[src]
+        if not sender.online:
+            raise RuntimeError(
+                f"offline node {src} attempted to send at t={self.sim.now:.3f}"
+            )
+        if dst not in self.nodes:
+            raise KeyError(f"unknown destination node {dst}")
+        message = Message(src, dst, payload, kind, self.sim.now)
+        self.stats.record_send(kind)
+        self.sent_per_node[src] += 1
+        if self.send_log_enabled:
+            self.send_log.setdefault(src, []).append(self.sim.now)
+        for listener in self._send_listeners:
+            listener(message)
+        self.sim.schedule(self.transfer_time, self._deliver, message)
+        return message
+
+    def add_send_listener(self, listener: Callable[[Message], None]) -> None:
+        """Observe every send (used by metric collectors and auditors)."""
+        self._send_listeners.append(listener)
+
+    def enable_send_log(self) -> None:
+        """Record per-node send timestamps (for burst auditing)."""
+        self.send_log_enabled = True
+
+    # ------------------------------------------------------------------
+    def _deliver(self, message: Message) -> None:
+        if self.loss_rate > 0.0 and self.loss_rng.random() < self.loss_rate:
+            self.stats.lost_dropped += 1
+            return
+        receiver = self.nodes[message.dst]
+        if not receiver.online:
+            self.stats.lost_offline += 1
+            return
+        self.stats.delivered += 1
+        receiver.deliver(message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Network(nodes={len(self.nodes)}, sent={self.stats.sent}, "
+            f"delivered={self.stats.delivered})"
+        )

@@ -1,0 +1,77 @@
+"""Node lifecycle: identity, online/offline state, and message dispatch.
+
+The paper's system model (§2.1) allows nodes to "leave the network at any
+time"; in the smartphone-trace scenario (§4.1) a node is online only while
+the phone is charging with adequate connectivity. :class:`SimNode` is the
+minimal lifecycle base that the churn scheduler toggles and the transport
+consults before delivering.
+
+Protocol classes (e.g. :class:`repro.core.protocol.TokenAccountNode`)
+subclass or wrap this to attach behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sim.network import Message
+
+
+class SimNode:
+    """A network participant with an online flag and lifecycle hooks.
+
+    Parameters
+    ----------
+    node_id:
+        Dense integer identifier; also the index into overlay adjacency.
+    online:
+        Initial availability. Failure-free scenarios keep this ``True``
+        forever; trace-driven scenarios toggle it via :meth:`set_online`.
+    """
+
+    __slots__ = ("node_id", "online", "_online_listeners", "ever_online")
+
+    def __init__(self, node_id: int, online: bool = True):
+        self.node_id = node_id
+        self.online = online
+        self.ever_online = online
+        self._online_listeners: List[Callable[[bool], None]] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def set_online(self, online: bool) -> None:
+        """Toggle availability, notifying listeners on actual transitions."""
+        if online == self.online:
+            return
+        self.online = online
+        if online:
+            self.ever_online = True
+        for listener in self._online_listeners:
+            listener(online)
+
+    def add_online_listener(self, listener: Callable[[bool], None]) -> None:
+        """Register ``listener(online)`` to run on every state transition.
+
+        Listeners fire in registration order, after the flag is updated —
+        so a listener that sends a message (the pull-on-rejoin of §4.1.2)
+        observes the node as already online.
+        """
+        self._online_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def deliver(self, message: "Message") -> None:
+        """Handle an incoming message. Subclasses override.
+
+        The transport only calls this while the node is online.
+        """
+        raise NotImplementedError(
+            f"node {self.node_id} received a message but defines no handler"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "online" if self.online else "offline"
+        return f"{type(self).__name__}(id={self.node_id}, {state})"

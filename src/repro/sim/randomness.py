@@ -1,0 +1,70 @@
+"""Reproducible named random streams.
+
+Every source of randomness in a simulation (overlay wiring, node phases,
+peer sampling, strategy coin flips, churn trace generation, update
+injection, ...) draws from its own named stream derived from a single root
+seed. This has two payoffs:
+
+* **Reproducibility** — a experiment is identified by one integer seed.
+* **Variance isolation** — changing, say, the strategy does not perturb
+  the overlay wiring or the churn trace, because the streams are
+  independent. This mirrors how the paper compares strategies "over the
+  same random 20-out network".
+
+Streams are derived by hashing ``(root_seed, name parts...)`` with
+SHA-256, so they are stable across Python versions and processes (unlike
+``hash()``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Union
+
+import numpy as np
+
+_SeedPart = Union[str, int]
+
+
+def derive_seed(root_seed: int, *name: _SeedPart) -> int:
+    """Derive a 64-bit child seed from a root seed and a name path."""
+    material = f"{root_seed}:" + "/".join(str(part) for part in name)
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RandomStreams:
+    """A factory of independent, named random number streams.
+
+    Examples
+    --------
+    >>> streams = RandomStreams(42)
+    >>> a = streams.stream("overlay")
+    >>> b = streams.stream("overlay")
+    >>> a.random() == b.random()  # same name -> same stream
+    True
+    >>> c = streams.stream("churn")
+    >>> a.random() == c.random()  # different name -> independent
+    False
+    """
+
+    def __init__(self, root_seed: int):
+        if not isinstance(root_seed, int):
+            raise TypeError(f"root seed must be an int, got {type(root_seed).__name__}")
+        self.root_seed = root_seed
+
+    def stream(self, *name: _SeedPart) -> random.Random:
+        """Return a fresh ``random.Random`` for the given name path."""
+        return random.Random(derive_seed(self.root_seed, *name))
+
+    def numpy_stream(self, *name: _SeedPart) -> np.random.Generator:
+        """Return a fresh NumPy ``Generator`` for the given name path."""
+        return np.random.default_rng(derive_seed(self.root_seed, *name))
+
+    def child(self, *name: _SeedPart) -> "RandomStreams":
+        """Return a sub-factory rooted at ``name`` (for nested components)."""
+        return RandomStreams(derive_seed(self.root_seed, *name))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RandomStreams(root_seed={self.root_seed})"

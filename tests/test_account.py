@@ -1,0 +1,102 @@
+"""Unit tests for the token account invariants."""
+
+import pytest
+
+from repro.core.account import OverspendError, TokenAccount
+
+
+def test_initial_state():
+    account = TokenAccount()
+    assert account.balance == 0
+    assert account.granted == 0
+    assert account.spent == 0
+
+
+def test_grant_and_withdraw():
+    account = TokenAccount()
+    account.grant()
+    account.grant()
+    assert account.balance == 2
+    account.withdraw(1)
+    assert account.balance == 1
+    assert account.granted == 2
+    assert account.spent == 1
+
+
+def test_overspend_rejected():
+    account = TokenAccount(initial=2)
+    with pytest.raises(OverspendError):
+        account.withdraw(3)
+    assert account.balance == 2  # unchanged on failure
+
+
+def test_overdraft_allowed_when_enabled():
+    account = TokenAccount(allow_overdraft=True)
+    account.withdraw(5)
+    assert account.balance == -5
+
+
+def test_negative_initial_requires_overdraft():
+    with pytest.raises(ValueError):
+        TokenAccount(initial=-1)
+    assert TokenAccount(initial=-1, allow_overdraft=True).balance == -1
+
+
+def test_capacity_clamps_grants():
+    account = TokenAccount(capacity=3)
+    for _ in range(10):
+        account.grant()
+    assert account.balance == 3
+    assert account.granted == 3  # clamped grants are not counted
+
+
+def test_capacity_zero_never_banks():
+    account = TokenAccount(capacity=0)
+    account.grant()
+    assert account.balance == 0
+
+
+def test_initial_above_capacity_rejected():
+    with pytest.raises(ValueError):
+        TokenAccount(initial=5, capacity=3)
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        TokenAccount(capacity=-1)
+
+
+def test_refund_restores_tokens():
+    account = TokenAccount(initial=5, capacity=10)
+    account.withdraw(4)
+    account.refund(3)
+    assert account.balance == 4
+    assert account.spent == 1
+
+
+def test_refund_respects_capacity():
+    account = TokenAccount(initial=3, capacity=3)
+    account.withdraw(1)
+    account.grant()  # back to 3
+    account.refund(1)  # would exceed capacity -> clamped
+    assert account.balance == 3
+
+
+def test_refund_zero_is_noop():
+    account = TokenAccount(initial=2, capacity=5)
+    account.refund(0)
+    assert account.balance == 2
+
+
+def test_negative_amounts_rejected():
+    account = TokenAccount(initial=2)
+    with pytest.raises(ValueError):
+        account.withdraw(-1)
+    with pytest.raises(ValueError):
+        account.refund(-1)
+
+
+def test_withdraw_exact_balance():
+    account = TokenAccount(initial=3)
+    account.withdraw(3)
+    assert account.balance == 0

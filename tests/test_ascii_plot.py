@@ -1,0 +1,93 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.ascii_plot import ascii_chart
+from repro.metrics.series import TimeSeries
+
+
+def linear(n, slope=1.0, offset=0.0, dt=3600.0):
+    return TimeSeries([(i * dt, offset + slope * i) for i in range(n)])
+
+
+def test_single_series_renders():
+    chart = ascii_chart({"line": linear(10)}, width=20, height=8)
+    assert "a = line" in chart
+    assert chart.count("|") == 8
+    assert "a" in chart
+
+
+def test_min_max_axis_labels():
+    chart = ascii_chart({"line": linear(11)}, width=20, height=8)
+    assert "10" in chart  # max value
+    assert "0" in chart  # min value
+
+
+def test_rising_series_marker_positions():
+    chart = ascii_chart({"r": linear(21)}, width=20, height=10)
+    rows = [line for line in chart.splitlines() if "|" in line]
+    top_row, bottom_row = rows[0], rows[-1]
+    # The maximum is reached on the right, the minimum on the left.
+    assert top_row.rstrip().endswith("a")
+    assert bottom_row.split("|")[1].startswith("a")
+
+
+def test_two_series_two_markers():
+    chart = ascii_chart(
+        {"low": linear(10, slope=0.0), "high": linear(10, slope=0.0, offset=5.0)},
+        width=16,
+        height=6,
+    )
+    assert "a = low" in chart and "b = high" in chart
+    rows = [line for line in chart.splitlines() if "|" in line]
+    assert "b" in rows[0]  # high series on the top row
+    assert "a" in rows[-1]  # low series on the bottom row
+
+
+def test_empty_series_skipped():
+    chart = ascii_chart({"empty": TimeSeries(), "line": linear(5)})
+    assert "line" in chart
+    assert "empty" not in chart
+
+
+def test_all_empty():
+    assert "no data" in ascii_chart({"a": TimeSeries()})
+
+
+def test_log_scale():
+    series = TimeSeries([(float(i) * 3600, 10.0 ** (-i)) for i in range(6)])
+    chart = ascii_chart({"decay": series}, width=24, height=8, log_y=True)
+    # Log scale spreads the decades: marker present in top AND bottom half.
+    rows = [line.split("|")[1] for line in chart.splitlines() if "|" in line]
+    top_half = "".join(rows[: len(rows) // 2])
+    bottom_half = "".join(rows[len(rows) // 2 :])
+    assert "a" in top_half and "a" in bottom_half
+
+
+def test_log_scale_requires_positive_values():
+    series = TimeSeries([(0.0, 0.0), (1.0, -1.0)])
+    with pytest.raises(ValueError, match="positive"):
+        ascii_chart({"bad": series}, log_y=True)
+
+
+def test_too_small_area_rejected():
+    with pytest.raises(ValueError):
+        ascii_chart({"line": linear(5)}, width=4, height=10)
+    with pytest.raises(ValueError):
+        ascii_chart({"line": linear(5)}, width=30, height=2)
+
+
+def test_title_included():
+    chart = ascii_chart({"line": linear(5)}, title="my title")
+    assert chart.splitlines()[0] == "my title"
+
+
+def test_constant_series_no_crash():
+    chart = ascii_chart({"flat": linear(5, slope=0.0, offset=3.0)})
+    assert "a = flat" in chart
+
+
+def test_time_axis_labels_in_hours():
+    chart = ascii_chart({"line": linear(25)}, width=30, height=6)
+    assert "0.0h" in chart
+    assert "24.0h" in chart

@@ -1,0 +1,49 @@
+"""Fuzz tests: the ASCII chart renderer never crashes on valid series."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.ascii_plot import ascii_chart
+from repro.metrics.series import TimeSeries
+
+# Monotone time grids with arbitrary finite values.
+series_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1e7, allow_nan=False),
+        st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=50,
+).map(lambda points: TimeSeries(sorted(points, key=lambda p: p[0])))
+
+
+@settings(max_examples=60)
+@given(st.dictionaries(st.sampled_from(["a", "b", "c"]), series_strategy, max_size=3))
+def test_chart_renders_any_series(series_by_label):
+    chart = ascii_chart(series_by_label, width=30, height=8)
+    assert isinstance(chart, str)
+    if series_by_label:
+        lines = chart.splitlines()
+        plot_rows = [line for line in lines if "|" in line]
+        assert len(plot_rows) == 8
+        for row in plot_rows:
+            assert len(row.split("|", 1)[1]) <= 30
+
+
+@settings(max_examples=40)
+@given(series_strategy)
+def test_log_chart_with_positive_values(series):
+    positive = TimeSeries(
+        (t, abs(v) + 1e-6) for t, v in series
+    )
+    chart = ascii_chart({"s": positive}, width=24, height=6, log_y=True)
+    assert "s" in chart
+
+
+@settings(max_examples=40)
+@given(st.integers(8, 60), st.integers(4, 30))
+def test_chart_dimensions_respected(width, height):
+    series = TimeSeries([(0.0, 0.0), (10.0, 5.0), (20.0, 2.0)])
+    chart = ascii_chart({"x": series}, width=width, height=height)
+    plot_rows = [line for line in chart.splitlines() if "|" in line]
+    assert len(plot_rows) == height

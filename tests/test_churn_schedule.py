@@ -1,0 +1,70 @@
+"""Tests for trace-driven churn scheduling."""
+
+import pytest
+
+from repro.churn.schedule import ChurnSchedule
+from repro.churn.trace import AvailabilityTrace, Interval
+from repro.sim.engine import Simulator
+from repro.sim.node import SimNode
+
+
+def make_trace():
+    return AvailabilityTrace(
+        100.0,
+        [
+            [Interval(0.0, 30.0), Interval(60.0, 80.0)],  # online at t=0
+            [Interval(40.0, 100.0)],  # offline at t=0, logs in at 40
+            [],  # never online
+        ],
+    )
+
+
+def test_initial_online():
+    schedule = ChurnSchedule(make_trace())
+    assert schedule.initial_online(0) is True
+    assert schedule.initial_online(1) is False
+    assert schedule.initial_online(2) is False
+
+
+def test_transitions_are_applied():
+    trace = make_trace()
+    schedule = ChurnSchedule(trace)
+    sim = Simulator()
+    nodes = [SimNode(i, online=schedule.initial_online(i)) for i in range(3)]
+    observed = {i: [] for i in range(3)}
+    for node in nodes:
+        node.add_online_listener(
+            lambda online, i=node.node_id: observed[i].append((sim.now, online))
+        )
+    count = schedule.apply(sim, nodes)
+    # node 0: off@30, on@60, off@80; node 1: on@40 (end at horizon not
+    # emitted); node 2: nothing.
+    assert count == 4
+    sim.run()
+    assert observed[0] == [(30.0, False), (60.0, True), (80.0, False)]
+    assert observed[1] == [(40.0, True)]
+    assert observed[2] == []
+
+
+def test_node_count_mismatch_rejected():
+    schedule = ChurnSchedule(make_trace())
+    with pytest.raises(ValueError, match="covers"):
+        schedule.apply(Simulator(), [SimNode(0, online=True)])
+
+
+def test_wrong_initial_state_rejected():
+    schedule = ChurnSchedule(make_trace())
+    nodes = [SimNode(0, online=False), SimNode(1, online=False), SimNode(2, online=False)]
+    with pytest.raises(ValueError, match="initial"):
+        schedule.apply(Simulator(), nodes)
+
+
+def test_interval_starting_at_zero_not_double_scheduled():
+    trace = AvailabilityTrace(50.0, [[Interval(0.0, 20.0)]])
+    schedule = ChurnSchedule(trace)
+    sim = Simulator()
+    node = SimNode(0, online=True)
+    count = schedule.apply(sim, [node])
+    assert count == 1  # only the logout at t=20
+    sim.run()
+    assert node.online is False

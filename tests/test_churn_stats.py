@@ -1,0 +1,81 @@
+"""Tests for trace statistics (the Figure 1 quantities)."""
+
+import pytest
+
+from repro.churn.stats import (
+    ever_online_fraction,
+    login_logout_fractions,
+    online_fraction,
+    trace_summary,
+)
+from repro.churn.trace import AvailabilityTrace, Interval
+
+
+@pytest.fixture
+def trace():
+    return AvailabilityTrace(
+        100.0,
+        [
+            [Interval(0.0, 50.0)],
+            [Interval(25.0, 75.0)],
+            [Interval(60.0, 100.0)],
+            [],
+        ],
+    )
+
+
+def test_online_fraction(trace):
+    assert online_fraction(trace, [0.0]) == [0.25]
+    assert online_fraction(trace, [30.0]) == [0.5]
+    assert online_fraction(trace, [55.0]) == [0.25]
+    assert online_fraction(trace, [70.0]) == [0.5]
+    assert online_fraction(trace, [99.0]) == [0.25]
+
+
+def test_ever_online_fraction_monotone(trace):
+    times = [0.0, 20.0, 30.0, 59.0, 61.0, 99.0]
+    fractions = ever_online_fraction(trace, times)
+    assert fractions == sorted(fractions)
+    assert fractions[0] == 0.25  # only node 0 online from the start
+    assert fractions[-1] == 0.75  # node 3 never appears
+
+
+def test_ever_online_counts_first_appearance(trace):
+    assert ever_online_fraction(trace, [24.9])[0] == 0.25
+    assert ever_online_fraction(trace, [25.1])[0] == 0.5
+    assert ever_online_fraction(trace, [60.1])[0] == 0.75
+
+
+def test_login_logout_bins(trace):
+    edges = [0.0, 50.0, 100.0]
+    logins, logouts = login_logout_fractions(trace, edges)
+    # Bin 1 (0-50): node 1 logs in at 25 (node 0's t=0 start is a login
+    # event too). Logouts: node 0 at 50 falls in bin 2.
+    assert logins[0] == 0.5  # nodes 0 and 1
+    assert logins[1] == 0.25  # node 2 at 60
+    assert logouts[0] == 0.0
+    assert logouts[1] == 0.5  # node 0 at 50, node 1 at 75
+
+
+def test_login_logout_requires_two_edges(trace):
+    with pytest.raises(ValueError):
+        login_logout_fractions(trace, [0.0])
+
+
+def test_trace_summary(trace):
+    summary = trace_summary(trace)
+    assert summary.n == 4
+    assert summary.never_online_fraction == 0.25
+    assert summary.mean_online_fraction == pytest.approx(
+        (50 + 50 + 40 + 0) / (4 * 100.0)
+    )
+    assert summary.sessions_per_user == 0.75
+    assert summary.mean_session_length == pytest.approx(140 / 3)
+
+
+def test_empty_trace_rejected():
+    empty = AvailabilityTrace(10.0, [])
+    with pytest.raises(ValueError):
+        online_fraction(empty, [0.0])
+    with pytest.raises(ValueError):
+        trace_summary(empty)

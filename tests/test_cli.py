@@ -1,0 +1,139 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_run_command(capsys):
+    code = main(
+        [
+            "run",
+            "--app", "push-gossip",
+            "--strategy", "randomized",
+            "-A", "5",
+            "-C", "10",
+            "--nodes", "80",
+            "--periods", "20",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "push-gossip/randomized(A=5, C=10)" in out
+    assert "msgs/node/period" in out
+
+
+def test_run_with_audit(capsys):
+    code = main(
+        [
+            "run",
+            "--app", "gossip-learning",
+            "--strategy", "simple",
+            "-C", "5",
+            "--nodes", "60",
+            "--periods", "15",
+            "--audit",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "burst bound verified" in out
+
+
+def test_run_with_loss(capsys):
+    code = main(
+        [
+            "run",
+            "--app", "gossip-learning",
+            "--strategy", "simple",
+            "-C", "5",
+            "--nodes", "60",
+            "--periods", "15",
+            "--loss-rate", "0.2",
+        ]
+    )
+    assert code == 0
+
+
+def test_figure1_command(capsys):
+    code = main(["figure", "1", "--scale", "ci"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "figure1" in out
+    assert "online" in out  # column header (may be truncated to fit)
+
+
+def test_figure_requires_app_for_2_to_4(capsys):
+    code = main(["figure", "2"])
+    assert code == 2
+    assert "--app is required" in capsys.readouterr().err
+
+
+def test_figure_unknown_number(capsys):
+    code = main(["figure", "9"])
+    assert code == 2
+
+
+def test_trace_command(tmp_path, capsys):
+    out_file = tmp_path / "trace.txt"
+    code = main(
+        ["trace", "--users", "150", "--hours", "24", "--out", str(out_file)]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "generated" in out
+    assert out_file.exists()
+    from repro.churn.trace import AvailabilityTrace
+
+    trace = AvailabilityTrace.load(out_file)
+    assert trace.n == 150
+    assert trace.horizon == 24 * 3600.0
+
+
+def test_parser_rejects_unknown_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["frobnicate"])
+
+
+def test_parser_rejects_unknown_strategy():
+    with pytest.raises(SystemExit):
+        main(["run", "--app", "push-gossip", "--strategy", "leaky-bucket"])
+
+
+def test_figure_plot_flag(capsys):
+    code = main(["figure", "1", "--scale", "ci", "--plot"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "a = online" in out
+    assert "+----" in out  # chart frame
+
+
+def test_run_save_json(tmp_path, capsys):
+    out_file = tmp_path / "run.json"
+    code = main(
+        [
+            "run",
+            "--app", "push-gossip",
+            "--strategy", "simple",
+            "-C", "5",
+            "--nodes", "60",
+            "--periods", "15",
+            "--save", str(out_file),
+        ]
+    )
+    assert code == 0
+    assert out_file.exists()
+    from repro.experiments.export import load_result_json
+
+    document = load_result_json(out_file)
+    assert document["config"]["capacity"] == 5
+
+
+def test_figure_save_csv(tmp_path, capsys):
+    out_file = tmp_path / "figure1.csv"
+    code = main(["figure", "1", "--scale", "ci", "--save", str(out_file)])
+    assert code == 0
+    assert out_file.exists()
+    header = out_file.read_text().splitlines()[0]
+    assert header.startswith("time,")

@@ -1,0 +1,50 @@
+"""Tests for metric collectors."""
+
+from repro.core.strategies import SimpleTokenAccount
+from repro.metrics.collectors import MetricCollector, TokenBalanceCollector
+from repro.sim.engine import Simulator
+from tests.conftest import MiniSystem
+
+
+def test_samples_on_grid():
+    sim = Simulator()
+    collector = MetricCollector(sim, 10.0, lambda now: now * 2).start()
+    sim.run(until=35.0)
+    assert collector.series.times == [0.0, 10.0, 20.0, 30.0]
+    assert collector.series.values == [0.0, 20.0, 40.0, 60.0]
+
+
+def test_none_samples_skipped():
+    sim = Simulator()
+    collector = MetricCollector(
+        sim, 10.0, lambda now: None if now < 15.0 else 1.0
+    ).start()
+    sim.run(until=40.0)
+    assert collector.series.times == [20.0, 30.0, 40.0]
+
+
+def test_stop_ends_sampling():
+    sim = Simulator()
+    collector = MetricCollector(sim, 10.0, lambda now: 1.0).start()
+    sim.schedule_at(25.0, collector.stop)
+    sim.run(until=100.0)
+    assert collector.series.times == [0.0, 10.0, 20.0]
+
+
+def test_token_balance_collector_averages_online_nodes():
+    system = MiniSystem(SimpleTokenAccount(10), n=4, period=10.0, initial_tokens=2)
+    system.nodes[0].account.balance = 6
+    system.nodes[3].set_online(False)
+    collector = TokenBalanceCollector(system.sim, 5.0, system.nodes).start()
+    system.sim.run(until=0.0)
+    # Online balances: 6, 2, 2 -> mean 10/3.
+    assert collector.series.values[0] == (6 + 2 + 2) / 3
+
+
+def test_token_balance_collector_skips_all_offline():
+    system = MiniSystem(SimpleTokenAccount(10), n=2, period=10.0)
+    for node in system.nodes:
+        node.set_online(False)
+    collector = TokenBalanceCollector(system.sim, 5.0, system.nodes).start()
+    system.sim.run(until=20.0)
+    assert collector.series.empty

@@ -1,0 +1,93 @@
+"""Tests for experiment configuration."""
+
+import pytest
+
+from repro.experiments.config import PAPER, ExperimentConfig
+
+
+def test_paper_constants_match_section_4_1():
+    assert PAPER.period == 172.8
+    assert PAPER.transfer_time == 1.728
+    assert PAPER.period / PAPER.transfer_time == pytest.approx(100.0)
+    assert PAPER.out_degree == 20
+    assert PAPER.ws_degree == 4
+    assert PAPER.ws_rewire == 0.01
+    assert PAPER.inject_interval == pytest.approx(17.28)
+    assert PAPER.period / PAPER.inject_interval == pytest.approx(10.0)
+    assert PAPER.initial_tokens == 0
+    assert PAPER.n_small == 5000
+    assert PAPER.n_large == 500_000
+    assert PAPER.periods == 1000
+    # Two days of 1000 periods:
+    assert PAPER.periods * PAPER.period == pytest.approx(172_800.0)
+
+
+def test_default_config_uses_paper_values():
+    config = ExperimentConfig(app="push-gossip", strategy="proactive")
+    assert config.n == 5000
+    assert config.horizon == pytest.approx(172_800.0)
+    assert config.effective_sample_interval == pytest.approx(86.4)
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(ValueError, match="unknown app"):
+        ExperimentConfig(app="raft", strategy="proactive")
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(ValueError, match="unknown scenario"):
+        ExperimentConfig(app="push-gossip", strategy="proactive", scenario="mars")
+
+
+def test_chaotic_iteration_under_churn_rejected():
+    with pytest.raises(ValueError, match="churn"):
+        ExperimentConfig(
+            app="chaotic-iteration", strategy="proactive", scenario="trace"
+        )
+
+
+def test_invalid_strategy_parameters_fail_fast():
+    with pytest.raises(ValueError):
+        ExperimentConfig(app="push-gossip", strategy="generalized", spend_rate=5)
+    with pytest.raises(ValueError):
+        ExperimentConfig(
+            app="push-gossip", strategy="randomized", spend_rate=10, capacity=5
+        )
+
+
+def test_tiny_network_rejected():
+    with pytest.raises(ValueError):
+        ExperimentConfig(app="push-gossip", strategy="proactive", n=1)
+    with pytest.raises(ValueError):
+        ExperimentConfig(app="push-gossip", strategy="proactive", periods=0)
+
+
+def test_label_is_descriptive():
+    config = ExperimentConfig(
+        app="gossip-learning", strategy="randomized", spend_rate=10, capacity=20
+    )
+    assert config.label() == "gossip-learning/randomized(A=10, C=20)/failure-free"
+
+
+def test_with_overrides():
+    config = ExperimentConfig(app="push-gossip", strategy="proactive", seed=1)
+    other = config.with_overrides(seed=99, n=100)
+    assert other.seed == 99
+    assert other.n == 100
+    assert other.app == config.app
+    assert config.seed == 1  # original frozen
+
+
+def test_make_strategy_round_trip():
+    config = ExperimentConfig(
+        app="push-gossip", strategy="simple", capacity=7
+    )
+    strategy = config.make_strategy()
+    assert strategy.describe() == "simple(C=7)"
+
+
+def test_custom_sample_interval():
+    config = ExperimentConfig(
+        app="push-gossip", strategy="proactive", sample_interval=50.0
+    )
+    assert config.effective_sample_interval == 50.0

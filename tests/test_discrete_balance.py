@@ -1,0 +1,94 @@
+"""Tests for the exact discrete balance Markov model."""
+
+import numpy as np
+import pytest
+
+from repro.core.discrete_balance import (
+    round_transition_matrix,
+    stationary_distribution,
+    stationary_mean_balance,
+)
+from repro.core.meanfield import randomized_equilibrium
+from repro.core.strategies import (
+    ProactiveStrategy,
+    PureReactiveStrategy,
+    RandomizedTokenAccount,
+    SimpleTokenAccount,
+)
+
+
+def test_transition_matrix_is_stochastic():
+    strategy = RandomizedTokenAccount(5, 10)
+    transition = round_transition_matrix(strategy)
+    assert transition.shape == (11, 11)
+    assert np.allclose(transition.sum(axis=1), 1.0)
+    assert (transition >= -1e-12).all()
+
+
+def test_stationary_distribution_is_a_distribution():
+    strategy = RandomizedTokenAccount(3, 6)
+    pi = stationary_distribution(strategy)
+    assert pi.shape == (7,)
+    assert pi.sum() == pytest.approx(1.0)
+    assert (pi >= 0).all()
+
+
+def test_stationary_is_fixed_point():
+    strategy = RandomizedTokenAccount(4, 8)
+    transition = round_transition_matrix(strategy)
+    pi = stationary_distribution(strategy)
+    assert np.allclose(pi @ transition, pi, atol=1e-9)
+
+
+def test_agrees_with_meanfield_for_large_a():
+    """The continuum limit: for large A the discreteness error vanishes."""
+    for spend_rate, capacity in ((10, 20), (20, 40)):
+        exact = stationary_mean_balance(RandomizedTokenAccount(spend_rate, capacity))
+        continuum = randomized_equilibrium(spend_rate, capacity)
+        assert exact == pytest.approx(continuum, rel=0.05)
+
+
+def test_corrects_meanfield_for_small_a():
+    """For A = 1 the continuum prediction (2/3) is far from both the
+    exact chain and the simulation (~1 token); the chain must land on the
+    simulation's side of the mean-field."""
+    exact = stationary_mean_balance(RandomizedTokenAccount(1, 2))
+    continuum = randomized_equilibrium(1, 2)  # 0.667
+    assert exact > continuum + 0.25
+    assert 0.8 <= exact <= 1.5  # simulation measures ~0.99
+
+
+def test_proactive_strategy_pins_balance_at_zero():
+    pi = stationary_distribution(ProactiveStrategy())
+    assert pi.shape == (1,)
+    assert pi[0] == pytest.approx(1.0)
+    assert stationary_mean_balance(ProactiveStrategy()) == pytest.approx(0.0)
+
+
+def test_simple_strategy_balance_is_a_driftless_walk():
+    """With one Poisson arrival per round and reactive = 1 per message,
+    the simple account's balance is a near-driftless walk on {0..C}: it
+    earns one token per round and spends about one. The stationary mean
+    sits mid-range, far from both boundaries."""
+    mean = stationary_mean_balance(SimpleTokenAccount(10))
+    assert 3.0 < mean < 8.0
+
+
+def test_zero_arrivals_fills_account():
+    """Without traffic the balance climbs to C and stays (proactive
+    sends then keep the balance at C)."""
+    strategy = RandomizedTokenAccount(5, 10)
+    mean = stationary_mean_balance(strategy, arrival_rate=0.0)
+    assert mean > 8.0
+
+
+def test_high_arrival_rate_drains_account():
+    strategy = RandomizedTokenAccount(5, 10)
+    low_traffic = stationary_mean_balance(strategy, arrival_rate=0.5)
+    high_traffic = stationary_mean_balance(strategy, arrival_rate=3.0)
+    assert high_traffic < low_traffic
+
+
+def test_unbounded_strategy_rejected():
+    with pytest.raises(ValueError, match="capacity"):
+        stationary_mean_balance(PureReactiveStrategy())

@@ -1,0 +1,29 @@
+"""Run the library's docstring examples as tests.
+
+Keeps the ``>>>`` examples in the API documentation truthful — a stale
+example is a failing test, not silent documentation rot.
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.discrete_balance
+import repro.core.meanfield
+import repro.core.rounding
+import repro.sim.engine
+import repro.sim.randomness
+
+MODULES = [
+    repro.core.discrete_balance,
+    repro.core.meanfield,
+    repro.core.rounding,
+    repro.sim.engine,
+    repro.sim.randomness,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} doctest failures"

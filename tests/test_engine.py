@@ -1,0 +1,177 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_events_run_in_time_order(sim):
+    fired = []
+    sim.schedule(5.0, fired.append, "late")
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(3.0, fired.append, "middle")
+    assert sim.run() == 3
+    assert fired == ["early", "middle", "late"]
+
+
+def test_same_time_events_run_fifo(sim):
+    fired = []
+    for tag in range(10):
+        sim.schedule(1.0, fired.append, tag)
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_clock_advances_to_event_time(sim):
+    times = []
+    sim.schedule(2.5, lambda: times.append(sim.now))
+    sim.schedule(7.25, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [2.5, 7.25]
+    assert sim.now == 7.25
+
+
+def test_run_until_is_inclusive(sim):
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    sim.schedule(2.0001, fired.append, "c")
+    processed = sim.run(until=2.0)
+    assert processed == 2
+    assert fired == ["a", "b"]
+    assert sim.now == 2.0
+
+
+def test_run_until_advances_clock_without_events(sim):
+    sim.run(until=100.0)
+    assert sim.now == 100.0
+
+
+def test_events_scheduled_during_run_are_processed(sim):
+    fired = []
+
+    def chain(depth):
+        fired.append(depth)
+        if depth < 3:
+            sim.schedule(1.0, chain, depth + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_schedule_in_past_raises(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_negative_delay_raises(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire(sim):
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    sim.schedule(2.0, fired.append, "y")
+    handle.cancel()
+    sim.run()
+    assert fired == ["y"]
+
+
+def test_cancel_is_idempotent(sim):
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert sim.run() == 0
+
+
+def test_cancel_drops_callback_references(sim):
+    class Heavy:
+        pass
+
+    heavy = Heavy()
+    handle = sim.schedule(1.0, lambda obj: None, heavy)
+    handle.cancel()
+    assert handle.args == ()
+
+
+def test_stop_halts_run(sim):
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, sim.stop)
+    sim.schedule(3.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a"]
+    assert sim.pending == 1
+
+
+def test_run_resumes_after_stop(sim):
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, sim.stop)
+    sim.schedule(3.0, fired.append, "b")
+    sim.run()
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_max_events_limits_processing(sim):
+    for _ in range(10):
+        sim.schedule(1.0, lambda: None)
+    assert sim.run(max_events=4) == 4
+    assert sim.run() == 6
+
+
+def test_step_processes_single_event(sim):
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    assert sim.step() is True
+    assert fired == ["a"]
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_step_skips_cancelled(sim):
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    handle.cancel()
+    assert sim.step() is True
+    assert fired == ["b"]
+
+
+def test_peek_time(sim):
+    assert sim.peek_time() is None
+    handle = sim.schedule(3.0, lambda: None)
+    sim.schedule(5.0, lambda: None)
+    assert sim.peek_time() == 3.0
+    handle.cancel()
+    assert sim.peek_time() == 5.0
+
+
+def test_processed_counter(sim):
+    for _ in range(5):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.processed == 5
+
+
+def test_start_time_offset():
+    sim = Simulator(start_time=100.0)
+    assert sim.now == 100.0
+    with pytest.raises(SimulationError):
+        sim.schedule_at(50.0, lambda: None)
+
+
+def test_ties_broken_by_scheduling_order_across_times(sim):
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule_at(1.0, fired.append, 2)
+    sim.schedule(0.5, lambda: sim.schedule_at(1.0, fired.append, 3))
+    sim.run()
+    assert fired == [1, 2, 3]

@@ -1,0 +1,35 @@
+"""Smoke test: the quickstart example runs and prints sane output.
+
+Only the fastest example runs in the unit suite; the other demos are
+exercised manually / by documentation review (they take ~30-60 s each).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def test_quickstart_example_runs():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stderr
+    out = completed.stdout
+    assert "proactive baseline" in out
+    assert "randomized token account" in out
+    # The table contains a lag column and a budget column.
+    assert "avg lag" in out
+    assert "msgs/node/round" in out
+
+
+def test_all_examples_compile():
+    """Every example at least byte-compiles (catches bit-rot cheaply)."""
+    import py_compile
+
+    for script in sorted(EXAMPLES.glob("*.py")):
+        py_compile.compile(str(script), doraise=True)

@@ -1,0 +1,100 @@
+"""Tests for the per-figure harnesses (micro scale)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    QUICK_SELECTION,
+    REPRESENTATIVE_SELECTION,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+)
+from repro.experiments.scale import ScalePreset
+
+# Periods must comfortably exceed the largest C in the selection: with
+# zero initial tokens, a generalized-strategy node is silent for its
+# first C rounds (the cold-start handicap the paper notes in §4.2).
+MICRO = ScalePreset(
+    name="micro", n=80, n_large=150, periods=60, repeats=1, trace_users=400
+)
+
+
+def test_selection_covers_text_mentions():
+    """§4.2 discusses these settings by name; they must be in the plot."""
+    assert ("proactive", None, None) in REPRESENTATIVE_SELECTION
+    assert ("generalized", 5, 10) in REPRESENTATIVE_SELECTION
+    assert ("randomized", 10, 20) in REPRESENTATIVE_SELECTION
+    assert set(QUICK_SELECTION) <= set(REPRESENTATIVE_SELECTION)
+
+
+def test_figure1_series_and_summary():
+    data = figure1(scale=MICRO, seed=2)
+    assert set(data.series) == {"online", "has been online", "up", "down"}
+    online = data.series["online"]
+    ever = data.series["has been online"]
+    assert len(online) == 48  # hourly midpoints over two days
+    # ever-online is monotone and ends between 0.6 and 0.75 (Figure 1).
+    assert ever.values == sorted(ever.values)
+    assert 0.55 <= ever.final() <= 0.80
+    # logouts are rendered negative, logins positive.
+    assert all(v <= 0 for v in data.series["down"].values)
+    assert all(v >= 0 for v in data.series["up"].values)
+    summary = data.extras["summary"]
+    assert 0.25 <= summary.never_online_fraction <= 0.38
+
+
+def test_figure2_gossip_learning_micro():
+    data = figure2("gossip-learning", scale=MICRO, quick=True, seed=3)
+    assert set(data.series) == {
+        "proactive",
+        "simple C=10",
+        "gene. A=5 C=10",
+        "gene. A=10 C=20",
+        "rand. A=5 C=10",
+        "rand. A=10 C=20",
+    }
+    assert data.message_rates["proactive"] == pytest.approx(1.0, abs=0.02)
+    # Every token account variant beats the proactive baseline.
+    baseline = data.series["proactive"].final()
+    for label, series in data.series.items():
+        if label != "proactive":
+            assert series.final() > baseline
+
+
+def test_figure3_trace_scenario_micro():
+    data = figure3("push-gossip", scale=MICRO, quick=True, seed=3)
+    assert "proactive" in data.series
+    for label, series in data.series.items():
+        assert not series.empty, label
+
+
+def test_figure3_rejects_chaotic():
+    with pytest.raises(ValueError):
+        figure3("chaotic-iteration", scale=MICRO)
+
+
+def test_figure4_uses_large_n_and_adds_a1_variants():
+    data = figure4("gossip-learning", scale=MICRO, quick=True, seed=3)
+    assert "gene. A=1 C=5" in data.series
+    assert "gene. A=1 C=10" in data.series
+    assert f"N={MICRO.n_large}" in data.description
+
+
+def test_figure4_rejects_chaotic():
+    with pytest.raises(ValueError):
+        figure4("chaotic-iteration", scale=MICRO)
+
+
+def test_figure5_tokens_approach_prediction():
+    data = figure5(scale=MICRO, seed=3, settings=((2, 4), (5, 10)))
+    predictions = data.extras["predictions"]
+    assert predictions["A=2 C=4"] == pytest.approx(8 / 5)
+    assert predictions["A=5 C=10"] == pytest.approx(50 / 11)
+    for label, series in data.series.items():
+        # Tail average within 30% of prediction even at micro scale.
+        tail = series.tail(series.times[-1] * 0.6)
+        assert tail.mean() == pytest.approx(predictions[label], rel=0.35)
+    # The mean-field trajectories are included for plotting.
+    assert set(data.extras["meanfield"]) == set(data.series)

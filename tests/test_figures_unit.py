@@ -1,0 +1,48 @@
+"""Unit tests for figure-harness helpers (no full runs)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    FigureData,
+    _selection_label,
+    figure1,
+)
+from repro.experiments.scale import ScalePreset
+from repro.metrics.series import TimeSeries
+
+
+def test_selection_labels():
+    assert _selection_label("proactive", None, None) == "proactive"
+    assert _selection_label("simple", None, 10) == "simple C=10"
+    assert _selection_label("generalized", 5, 10) == "gene. A=5 C=10"
+    assert _selection_label("randomized", 10, 20) == "rand. A=10 C=20"
+
+
+def test_figure_data_defaults():
+    data = FigureData(name="x", description="y", series={})
+    assert data.message_rates == {}
+    assert data.extras == {}
+    assert data.scale_label == ""
+
+
+def test_figure1_deterministic_given_seed():
+    scale = ScalePreset(
+        name="t", n=10, n_large=10, periods=5, repeats=1, trace_users=300
+    )
+    a = figure1(scale=scale, seed=5)
+    b = figure1(scale=scale, seed=5)
+    assert list(a.series["online"]) == list(b.series["online"])
+    c = figure1(scale=scale, seed=6)
+    assert list(a.series["online"]) != list(c.series["online"])
+
+
+def test_figure1_bars_align_with_hours():
+    scale = ScalePreset(
+        name="t", n=10, n_large=10, periods=5, repeats=1, trace_users=200
+    )
+    data = figure1(scale=scale, seed=1)
+    up = data.series["up"]
+    # One bar per hour, centered on the half hour.
+    assert len(up) == 48
+    assert up.times[0] == pytest.approx(1800.0)
+    assert up.times[1] - up.times[0] == pytest.approx(3600.0)

@@ -1,0 +1,162 @@
+"""Tests for the gossip learning application (§2.2, §3.2, §4.1.1)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.apps.gossip_learning import (
+    GossipLearningApp,
+    GossipLearningMetric,
+    ModelToken,
+)
+from repro.apps.sgd import make_synthetic_regression
+from repro.core.strategies import ProactiveStrategy, SimpleTokenAccount
+from repro.sim.network import Message
+from tests.conftest import MiniSystem, ring_overlay
+
+
+def bound_app(**kwargs):
+    """A GossipLearningApp bound to a one-node dummy system."""
+
+    class DummyNode:
+        node_id = 7
+
+    app = GossipLearningApp(**kwargs)
+    app.node = DummyNode()  # bypass full binding for unit tests
+    app.on_start()
+    return app
+
+
+def test_init_model_roots_lineage_at_node():
+    app = bound_app()
+    assert app.age == 0
+    assert app.lineage == 7
+
+
+def test_create_message_copies_state():
+    app = bound_app()
+    token = app.create_message()
+    assert token == ModelToken(age=0, lineage=7, weights=None)
+
+
+def test_younger_received_model_is_discarded():
+    """u = 0 iff the current model is older than the received one."""
+    app = bound_app()
+    app.age = 5
+    useful = app.update_state(ModelToken(age=3, lineage=1), sender=1)
+    assert useful is False
+    assert app.age == 5  # unchanged
+    assert app.lineage == 7
+    assert app.discarded == 1
+
+
+def test_older_received_model_is_adopted_and_trained():
+    app = bound_app()
+    app.age = 5
+    useful = app.update_state(ModelToken(age=8, lineage=1), sender=1)
+    assert useful is True
+    assert app.age == 9  # trained on local example: age + 1
+    assert app.lineage == 1
+    assert app.adopted == 1
+
+
+def test_equal_age_counts_as_useful():
+    """'usefulness is ... 1 otherwise' — ties are useful."""
+    app = bound_app()
+    app.age = 5
+    assert app.update_state(ModelToken(age=5, lineage=2), sender=1) is True
+    assert app.age == 6
+
+
+def test_always_adopt_reproduces_algorithm_1():
+    app = bound_app(always_adopt=True)
+    app.age = 10
+    assert app.update_state(ModelToken(age=0, lineage=3), sender=1) is True
+    assert app.age == 1  # received model trained, stored unconditionally
+
+
+def test_real_model_travels_and_trains():
+    rng = random.Random(5)
+    examples, _true = make_synthetic_regression(2, dimension=3, rng=rng)
+    sender = bound_app(example=examples[0])
+    receiver = bound_app(example=examples[1])
+    token = sender.create_message()
+    assert token.weights is not None
+    useful = receiver.update_state(token, sender=7)
+    assert useful
+    assert receiver.model is not None
+    # The receiving node applied one SGD step: weights moved.
+    assert not np.allclose(receiver.model.weights, np.zeros(4))
+
+
+# ----------------------------------------------------------------------
+# Metric (eq. 6)
+# ----------------------------------------------------------------------
+def gl_system(strategy, n=4, overlay=None, **kwargs):
+    system = MiniSystem(
+        strategy,
+        n=n,
+        overlay=overlay,
+        app_factory=lambda i: GossipLearningApp(),
+        **kwargs,
+    )
+    for app in system.apps:
+        app.on_start()
+    return system
+
+
+def test_metric_relative_to_ideal_walk():
+    system = gl_system(ProactiveStrategy(), n=4, period=10.0)
+    metric = GossipLearningMetric(system.nodes, transfer_time=2.0)
+    for node in system.nodes:
+        node.app.age = 10
+    # Ideal age at t = 40 is 40 / 2 = 20; all nodes at age 10 -> 0.5.
+    assert metric(40.0) == pytest.approx(0.5)
+
+
+def test_metric_undefined_at_time_zero():
+    system = MiniSystem(ProactiveStrategy(), n=2, period=10.0)
+    metric = GossipLearningMetric(system.nodes, transfer_time=2.0)
+    assert metric(0.0) is None
+
+
+def test_metric_counts_online_nodes_only():
+    system = gl_system(ProactiveStrategy(), n=2, period=10.0)
+    system.nodes[0].app.age = 10
+    system.nodes[1].app.age = 0
+    system.nodes[1].set_online(False)
+    metric = GossipLearningMetric(system.nodes, transfer_time=1.0)
+    assert metric(10.0) == pytest.approx(1.0)  # only node 0 counted
+
+
+def test_metric_rejects_bad_transfer_time():
+    with pytest.raises(ValueError):
+        GossipLearningMetric([], transfer_time=0.0)
+
+
+def test_surviving_lineages():
+    system = gl_system(ProactiveStrategy(), n=3, period=10.0)
+    metric = GossipLearningMetric(system.nodes, transfer_time=1.0)
+    assert metric.surviving_lineages() == 3
+    system.nodes[1].app.lineage = 0  # walk 0 displaced walk 1
+    assert metric.surviving_lineages() == 2
+
+
+# ----------------------------------------------------------------------
+# Integration: ages only grow, and the best walk spreads
+# ----------------------------------------------------------------------
+def test_integration_ages_monotone_and_positive():
+    overlay = ring_overlay(4)
+    system = gl_system(
+        SimpleTokenAccount(5), overlay=overlay, period=10.0, transfer_time=0.1
+    )
+    system.start()
+    checkpoints = []
+    for horizon in (50.0, 100.0, 200.0):
+        system.sim.run(until=horizon)
+        checkpoints.append([node.app.age for node in system.nodes])
+    for earlier, later in zip(checkpoints, checkpoints[1:]):
+        for age_before, age_after in zip(earlier, later):
+            assert age_after >= age_before
+    assert max(checkpoints[-1]) > 0

@@ -1,0 +1,203 @@
+"""Tests for graded usefulness — the §3.1 future-work extension."""
+
+import pytest
+
+from repro.apps.chaotic_iteration import ChaoticIterationApp
+from repro.apps.gossip_learning import GossipLearningApp, ModelToken
+from repro.apps.push_gossip import PushGossipApp
+from repro.core.grading import (
+    GradedGeneralizedTokenAccount,
+    GradedRandomizedTokenAccount,
+    as_grade,
+    saturating_grade,
+)
+from repro.core.strategies import (
+    GeneralizedTokenAccount,
+    RandomizedTokenAccount,
+    make_strategy,
+    validate_strategy,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+
+# ----------------------------------------------------------------------
+# Grade normalization helpers
+# ----------------------------------------------------------------------
+def test_as_grade_booleans():
+    assert as_grade(True) == 1.0
+    assert as_grade(False) == 0.0
+
+
+def test_as_grade_floats_pass_through():
+    assert as_grade(0.25) == 0.25
+    assert as_grade(1.0) == 1.0
+    assert as_grade(0) == 0.0
+
+
+def test_as_grade_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        as_grade(1.5)
+    with pytest.raises(ValueError):
+        as_grade(-0.1)
+
+
+def test_saturating_grade():
+    assert saturating_grade(0.0, 10.0) == 0.0
+    assert saturating_grade(-5.0, 10.0) == 0.0
+    assert saturating_grade(5.0, 10.0) == 0.5
+    assert saturating_grade(10.0, 10.0) == 1.0
+    assert saturating_grade(50.0, 10.0) == 1.0
+    with pytest.raises(ValueError):
+        saturating_grade(1.0, 0.0)
+
+
+# ----------------------------------------------------------------------
+# Graded strategies
+# ----------------------------------------------------------------------
+def test_graded_randomized_linear_in_grade():
+    strategy = GradedRandomizedTokenAccount(5, 10)
+    assert strategy.reactive(10, 0.0) == 0.0
+    assert strategy.reactive(10, 0.5) == pytest.approx(1.0)
+    assert strategy.reactive(10, 1.0) == pytest.approx(2.0)
+
+
+def test_graded_randomized_reduces_to_binary():
+    graded = GradedRandomizedTokenAccount(5, 10)
+    binary = RandomizedTokenAccount(5, 10)
+    for balance in range(11):
+        assert graded.reactive(balance, True) == binary.reactive(balance, True)
+        assert graded.reactive(balance, False) == binary.reactive(balance, False)
+        assert graded.proactive(balance) == binary.proactive(balance)
+
+
+def test_graded_generalized_reduces_to_binary():
+    for a_param, capacity in ((1, 5), (5, 10), (10, 10)):
+        graded = GradedGeneralizedTokenAccount(a_param, capacity)
+        binary = GeneralizedTokenAccount(a_param, capacity)
+        for balance in range(capacity + 1):
+            assert graded.reactive(balance, True) == binary.reactive(balance, True)
+            assert graded.reactive(balance, False) == binary.reactive(balance, False)
+
+
+def test_graded_generalized_interpolates():
+    strategy = GradedGeneralizedTokenAccount(5, 20)
+    full = strategy.reactive(16, 1.0)
+    half = strategy.reactive(16, 0.0)
+    middle = strategy.reactive(16, 0.5)
+    assert half <= middle <= full
+    assert full == 4.0 and half == 2.0 and middle == 3.0
+
+
+def test_graded_strategies_never_overspend():
+    for strategy in (
+        GradedRandomizedTokenAccount(5, 10),
+        GradedGeneralizedTokenAccount(5, 10),
+    ):
+        for balance in range(11):
+            for grade in (0.0, 0.25, 0.5, 0.75, 1.0):
+                assert strategy.reactive(balance, grade) <= balance
+
+
+def test_graded_strategies_monotone_in_grade():
+    for strategy in (
+        GradedRandomizedTokenAccount(3, 9),
+        GradedGeneralizedTokenAccount(3, 9),
+    ):
+        for balance in range(10):
+            values = [
+                strategy.reactive(balance, g) for g in (0.0, 0.2, 0.5, 0.8, 1.0)
+            ]
+            assert values == sorted(values)
+
+
+def test_graded_strategies_satisfy_binary_contract():
+    validate_strategy(GradedRandomizedTokenAccount(5, 10))
+    validate_strategy(GradedGeneralizedTokenAccount(5, 10))
+
+
+def test_factory_builds_graded_strategies():
+    s = make_strategy("graded-randomized", spend_rate=2, capacity=4)
+    assert s.describe() == "graded-randomized(A=2, C=4)"
+    g = make_strategy("graded-generalized", spend_rate=2, capacity=4)
+    assert g.describe() == "graded-generalized(A=2, C=4)"
+    with pytest.raises(ValueError):
+        make_strategy("graded-randomized", spend_rate=2)
+
+
+# ----------------------------------------------------------------------
+# Application grading modes
+# ----------------------------------------------------------------------
+def test_push_gossip_grading():
+    app = PushGossipApp(grading_scale=10.0)
+    assert app.update_state(5, sender=1) == 0.5  # gap 5 of scale 10
+    assert app.update_state(5, sender=1) is False  # stale
+    assert app.update_state(25, sender=1) == 1.0  # gap 20 saturates
+    assert app.update_state(26, sender=1) == pytest.approx(0.1)
+
+
+def test_gossip_learning_grading():
+    app = GossipLearningApp(grading_scale=4.0)
+    app.lineage = 0
+    app.age = 10
+    # Received age 13 -> new age 14, gain 4 -> grade 1.0.
+    assert app.update_state(ModelToken(age=13, lineage=1), sender=1) == 1.0
+    # Received age 14 -> new age 15, gain 1 -> grade 0.25.
+    assert app.update_state(ModelToken(age=14, lineage=1), sender=1) == 0.25
+    assert app.update_state(ModelToken(age=2, lineage=1), sender=1) is False
+
+
+def test_chaotic_iteration_grading():
+    app = ChaoticIterationApp({1: 1.0}, initial_buffer=1.0, grading_scale=0.5)
+    # x goes 1.0 -> 1.25: relative change 0.25 of scale 0.5 -> grade 0.5.
+    assert app.update_state(1.25, sender=1) == pytest.approx(0.5)
+    # No change -> False.
+    assert app.update_state(1.25, sender=1) is False
+    # Huge change saturates at 1.0.
+    assert app.update_state(100.0, sender=1) == 1.0
+
+
+# ----------------------------------------------------------------------
+# End to end
+# ----------------------------------------------------------------------
+def test_graded_run_end_to_end():
+    result = run_experiment(
+        ExperimentConfig(
+            app="push-gossip",
+            strategy="graded-randomized",
+            spend_rate=5,
+            capacity=10,
+            grading_scale=5.0,
+            n=150,
+            periods=60,
+            seed=4,
+            audit_sends=True,
+        )
+    )
+    assert result.ratelimit_violations == []
+    assert result.messages_per_node_per_period <= 1.02
+    proactive = run_experiment(
+        ExperimentConfig(
+            app="push-gossip", strategy="proactive", n=150, periods=60, seed=4
+        )
+    )
+    start = proactive.metric.times[-1] / 2
+    assert result.metric.mean(start=start) < proactive.metric.mean(start=start)
+
+
+def test_binary_strategies_coarsen_grades():
+    """A graded app with a binary strategy still works: any positive
+    grade counts as useful via truthiness."""
+    result = run_experiment(
+        ExperimentConfig(
+            app="push-gossip",
+            strategy="randomized",
+            spend_rate=5,
+            capacity=10,
+            grading_scale=5.0,
+            n=100,
+            periods=40,
+            seed=4,
+        )
+    )
+    assert not result.metric.empty

@@ -1,0 +1,64 @@
+"""Unit tests for the random k-out overlay (§4.1)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.overlay.kout import random_kout_overlay
+
+
+def test_every_node_has_exactly_k_out_links():
+    overlay = random_kout_overlay(100, 20, random.Random(1))
+    for i in range(overlay.n):
+        assert overlay.out_degree(i) == 20
+
+
+def test_no_self_loops_or_duplicates():
+    overlay = random_kout_overlay(50, 10, random.Random(2))
+    for i in range(overlay.n):
+        targets = overlay.out_neighbors(i)
+        assert i not in targets
+        assert len(set(targets)) == len(targets)
+
+
+def test_deterministic_given_rng_seed():
+    a = random_kout_overlay(60, 5, random.Random(7))
+    b = random_kout_overlay(60, 5, random.Random(7))
+    assert list(a.edges()) == list(b.edges())
+
+
+def test_different_seeds_differ():
+    a = random_kout_overlay(60, 5, random.Random(7))
+    b = random_kout_overlay(60, 5, random.Random(8))
+    assert list(a.edges()) != list(b.edges())
+
+
+def test_targets_roughly_uniform():
+    """In-degrees concentrate around k (law of large numbers check)."""
+    n, k = 400, 20
+    overlay = random_kout_overlay(n, k, random.Random(3))
+    in_degrees = Counter()
+    for _src, dst in overlay.edges():
+        in_degrees[dst] += 1
+    mean_in = sum(in_degrees.values()) / n
+    assert mean_in == pytest.approx(k)
+    # With n*k = 8000 draws, no node should be wildly over-represented.
+    assert max(in_degrees.values()) < 3 * k
+
+
+def test_minimum_viable_network():
+    overlay = random_kout_overlay(3, 2, random.Random(1))
+    for i in range(3):
+        assert sorted(overlay.out_neighbors(i)) == sorted(
+            j for j in range(3) if j != i
+        )
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        random_kout_overlay(10, 0, random.Random(1))
+    with pytest.raises(ValueError):
+        random_kout_overlay(10, 10, random.Random(1))
+    with pytest.raises(ValueError):
+        random_kout_overlay(5, 20, random.Random(1))

@@ -1,0 +1,121 @@
+"""Unit tests for the chaotic-iteration weight matrix utilities."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.overlay.graph import Overlay
+from repro.overlay.matrix import (
+    angle_to,
+    column_normalized_matrix,
+    dominant_eigenvector,
+    is_irreducible,
+)
+from repro.overlay.watts_strogatz import watts_strogatz_overlay
+
+
+def ring(n):
+    return Overlay([[(i + 1) % n] for i in range(n)])
+
+
+def test_matrix_is_column_stochastic():
+    overlay = watts_strogatz_overlay(40, 4, 0.1, random.Random(1))
+    matrix = column_normalized_matrix(overlay)
+    sums = np.asarray(matrix.sum(axis=0)).ravel()
+    assert np.allclose(sums, 1.0)
+
+
+def test_matrix_entries_match_out_degrees():
+    overlay = Overlay([[1, 2], [2], [0]])
+    matrix = column_normalized_matrix(overlay).todense()
+    assert matrix[1, 0] == pytest.approx(0.5)  # 0 -> 1, outdeg(0) = 2
+    assert matrix[2, 0] == pytest.approx(0.5)
+    assert matrix[2, 1] == pytest.approx(1.0)
+    assert matrix[0, 2] == pytest.approx(1.0)
+    assert matrix[0, 0] == 0.0
+
+
+def test_dangling_node_rejected():
+    with pytest.raises(ValueError, match="no out-links"):
+        column_normalized_matrix(Overlay([[1], []]))
+
+
+def test_spectral_radius_is_one():
+    overlay = watts_strogatz_overlay(30, 4, 0.2, random.Random(2))
+    dense = np.asarray(column_normalized_matrix(overlay).todense())
+    radius = max(abs(np.linalg.eigvals(dense)))
+    assert radius == pytest.approx(1.0, abs=1e-9)
+
+
+def test_dominant_eigenvector_matches_dense_solver():
+    overlay = watts_strogatz_overlay(60, 4, 0.3, random.Random(3))
+    matrix = column_normalized_matrix(overlay)
+    vector = dominant_eigenvector(matrix)
+    dense = np.asarray(matrix.todense())
+    eigenvalues, eigenvectors = np.linalg.eig(dense)
+    index = int(np.argmax(np.abs(eigenvalues)))
+    reference = np.real(eigenvectors[:, index])
+    assert angle_to(vector, reference) < 1e-6
+
+
+def test_dominant_eigenvector_is_fixed_point():
+    overlay = watts_strogatz_overlay(50, 4, 0.1, random.Random(4))
+    matrix = column_normalized_matrix(overlay)
+    vector = dominant_eigenvector(matrix)
+    assert np.allclose(matrix @ vector, vector, atol=1e-8)
+    assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+
+def test_regular_graph_gives_uniform_eigenvector():
+    """A regular aperiodic graph is doubly stochastic: uniform eigenvector.
+
+    (A *directed* ring would not do: it is periodic, so all its
+    eigenvalues lie on the unit circle and no dominant one exists.)
+    """
+    overlay = watts_strogatz_overlay(11, 4, 0.0, random.Random(1))
+    vector = dominant_eigenvector(column_normalized_matrix(overlay))
+    assert np.allclose(vector, vector[0])
+
+
+def test_tiny_matrix_path():
+    overlay = Overlay([[1], [0]])
+    vector = dominant_eigenvector(column_normalized_matrix(overlay))
+    assert vector.shape == (2,)
+    assert np.allclose(abs(vector), 1 / math.sqrt(2))
+
+
+def test_irreducibility():
+    assert is_irreducible(ring(5))
+    assert not is_irreducible(Overlay([[1], [0], [0]]))  # node 2 unreachable
+
+
+# ----------------------------------------------------------------------
+# angle_to
+# ----------------------------------------------------------------------
+def test_angle_identical_vectors_is_zero():
+    v = np.array([1.0, 2.0, 3.0])
+    assert angle_to(v, v) == pytest.approx(0.0)
+
+
+def test_angle_is_sign_insensitive():
+    v = np.array([1.0, 2.0, 3.0])
+    assert angle_to(v, -v) == pytest.approx(0.0)
+
+
+def test_angle_orthogonal_vectors():
+    assert angle_to(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(
+        math.pi / 2
+    )
+
+
+def test_angle_scale_invariant():
+    a = np.array([1.0, 1.0, 0.0])
+    b = np.array([1.0, 0.0, 0.0])
+    assert angle_to(a, b) == pytest.approx(angle_to(10 * a, 0.1 * b))
+    assert angle_to(a, b) == pytest.approx(math.pi / 4)
+
+
+def test_angle_zero_vector_is_right_angle():
+    assert angle_to(np.zeros(3), np.ones(3)) == pytest.approx(math.pi / 2)

@@ -1,0 +1,124 @@
+"""Tests for the §4.3 mean-field model."""
+
+import pytest
+
+from repro.core.meanfield import (
+    MeanFieldModel,
+    randomized_equilibrium,
+    solve_equilibrium,
+)
+from repro.core.strategies import (
+    GeneralizedTokenAccount,
+    ProactiveStrategy,
+    RandomizedTokenAccount,
+    SimpleTokenAccount,
+)
+
+
+def test_closed_form_matches_paper_example():
+    """a = A*C/(C+1): for A=10, C=20 the prediction is ~9.52 (= ~A)."""
+    assert randomized_equilibrium(10, 20) == pytest.approx(200 / 21)
+    assert randomized_equilibrium(1, 1) == pytest.approx(0.5)
+    assert randomized_equilibrium(5, 10) == pytest.approx(50 / 11)
+
+
+def test_closed_form_approaches_a_for_large_c():
+    assert randomized_equilibrium(10, 10_000) == pytest.approx(10.0, rel=1e-3)
+
+
+def test_closed_form_validation():
+    with pytest.raises(ValueError):
+        randomized_equilibrium(0, 5)
+    with pytest.raises(ValueError):
+        randomized_equilibrium(10, 5)
+
+
+def test_numeric_solver_matches_closed_form():
+    for spend_rate, capacity in [(1, 2), (5, 10), (10, 20), (20, 40)]:
+        strategy = RandomizedTokenAccount(spend_rate, capacity)
+        numeric = solve_equilibrium(strategy, useful=True)
+        closed = randomized_equilibrium(spend_rate, capacity)
+        assert numeric == pytest.approx(closed, abs=1e-6)
+
+
+def test_solver_on_proactive_pins_balance_at_zero():
+    """proactive(0) = 1 >= 1 already: equilibrium at the boundary a=0."""
+    assert solve_equilibrium(ProactiveStrategy()) == 0.0
+
+
+def test_solver_on_generalized():
+    """Continuous generalized reactive: (A-1+a)/A + [a >= C] = 1 gives
+    a = 1 below the capacity step."""
+    strategy = GeneralizedTokenAccount(5, 50)
+    equilibrium = solve_equilibrium(strategy, useful=True)
+    # (A - 1 + a)/A = 1  =>  a = 1
+    assert equilibrium == pytest.approx(1.0, abs=1e-6)
+
+
+def test_solver_requires_finite_capacity():
+    from repro.core.strategies import PureReactiveStrategy
+
+    with pytest.raises(ValueError):
+        solve_equilibrium(PureReactiveStrategy())
+
+
+def test_equation_10_holds_at_solution():
+    strategy = RandomizedTokenAccount(7, 15)
+    a = solve_equilibrium(strategy, useful=True)
+    residual = strategy.continuous_reactive(a, True) + strategy.continuous_proactive(a)
+    assert residual == pytest.approx(1.0, abs=1e-6)
+
+
+# ----------------------------------------------------------------------
+# ODE transient
+# ----------------------------------------------------------------------
+def test_ode_converges_to_equilibrium():
+    strategy = RandomizedTokenAccount(10, 20)
+    model = MeanFieldModel(strategy, period=172.8)
+    trajectory = model.integrate(horizon=172.8 * 500)
+    predicted = randomized_equilibrium(10, 20)
+    assert trajectory.final_balance() == pytest.approx(predicted, rel=0.05)
+
+
+def test_ode_balance_rises_from_zero():
+    strategy = RandomizedTokenAccount(10, 20)
+    model = MeanFieldModel(strategy, period=172.8)
+    trajectory = model.integrate(horizon=172.8 * 100)
+    assert trajectory.balances[0] == 0.0
+    assert trajectory.final_balance() > 1.0
+    assert max(trajectory.balances) <= 20.0  # never exceeds capacity
+
+
+def test_ode_send_rate_settles_near_token_rate():
+    """At equilibrium, messages consume exactly the token supply 1/Δ."""
+    period = 172.8
+    model = MeanFieldModel(RandomizedTokenAccount(5, 10), period)
+    trajectory = model.integrate(horizon=period * 500)
+    assert trajectory.send_rates[-1] == pytest.approx(1 / period, rel=0.05)
+
+
+def test_trajectory_sampling():
+    model = MeanFieldModel(RandomizedTokenAccount(2, 4), period=10.0)
+    trajectory = model.integrate(horizon=100.0, samples=20)
+    assert len(trajectory.times) >= 20
+    assert trajectory.times[0] == 0.0
+    assert trajectory.times[-1] == pytest.approx(100.0, abs=1.0)
+
+
+def test_useful_probability_validation():
+    with pytest.raises(ValueError):
+        MeanFieldModel(RandomizedTokenAccount(2, 4), 10.0, useful_probability=1.5)
+
+
+def test_usefulness_mix_lowers_spend():
+    """With some useless messages the randomized reactive spend drops, so
+    the equilibrium balance climbs toward the proactive threshold."""
+    full = MeanFieldModel(RandomizedTokenAccount(10, 40), 10.0, useful_probability=1.0)
+    half = MeanFieldModel(RandomizedTokenAccount(10, 40), 10.0, useful_probability=0.5)
+    assert half.predicted_equilibrium() > full.predicted_equilibrium()
+
+
+def test_horizon_validation():
+    model = MeanFieldModel(RandomizedTokenAccount(2, 4), 10.0)
+    with pytest.raises(ValueError):
+        model.integrate(horizon=0.0)

@@ -1,0 +1,65 @@
+"""Unit tests for the static overlay container."""
+
+import pytest
+
+from repro.overlay.graph import Overlay
+
+
+def test_basic_queries():
+    overlay = Overlay([[1, 2], [2], [0]])
+    assert overlay.n == 3
+    assert overlay.num_edges == 4
+    assert overlay.out_neighbors(0) == (1, 2)
+    assert overlay.out_degree(0) == 2
+    assert overlay.in_neighbors(2) == (0, 1)
+    assert overlay.in_degree(2) == 2
+    assert overlay.in_neighbors(1) == (0,)
+
+
+def test_edges_iteration():
+    overlay = Overlay([[1], [2], [0]])
+    assert sorted(overlay.edges()) == [(0, 1), (1, 2), (2, 0)]
+
+
+def test_empty_neighbor_lists_allowed():
+    overlay = Overlay([[1], []])
+    assert overlay.out_neighbors(1) == ()
+    assert overlay.in_neighbors(0) == ()
+
+
+def test_self_loop_rejected():
+    with pytest.raises(ValueError, match="self-loop"):
+        Overlay([[0]])
+
+
+def test_duplicate_link_rejected():
+    with pytest.raises(ValueError, match="duplicate"):
+        Overlay([[1, 1], []])
+
+
+def test_out_of_range_target_rejected():
+    with pytest.raises(ValueError, match="out-of-range"):
+        Overlay([[5]])
+    with pytest.raises(ValueError, match="out-of-range"):
+        Overlay([[-1]])
+
+
+def test_symmetric_detection():
+    symmetric = Overlay([[1], [0]])
+    asymmetric = Overlay([[1], []])
+    assert symmetric.is_symmetric()
+    assert not asymmetric.is_symmetric()
+
+
+def test_in_neighbors_cached_consistently():
+    overlay = Overlay([[1, 2], [0], [1]])
+    first = overlay.in_neighbors(1)
+    second = overlay.in_neighbors(1)
+    assert first == second == (0, 2)
+
+
+def test_in_out_degree_sums_match():
+    overlay = Overlay([[1, 2, 3], [2], [3], [0, 1]])
+    total_out = sum(overlay.out_degree(i) for i in range(overlay.n))
+    total_in = sum(overlay.in_degree(i) for i in range(overlay.n))
+    assert total_out == total_in == overlay.num_edges

@@ -1,0 +1,160 @@
+"""System-level property tests (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.churn.trace import Interval, merge_intervals
+from repro.core.account import OverspendError, TokenAccount
+from repro.core.strategies import (
+    GeneralizedTokenAccount,
+    RandomizedTokenAccount,
+    SimpleTokenAccount,
+)
+from repro.sim.engine import Simulator
+from tests.conftest import MiniSystem
+
+
+# ----------------------------------------------------------------------
+# Engine: arbitrary schedules run in time order
+# ----------------------------------------------------------------------
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), max_size=60))
+def test_events_always_execute_in_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0.0, 100.0), st.booleans()), min_size=1, max_size=40
+    )
+)
+def test_cancellation_never_fires(events):
+    sim = Simulator()
+    fired = []
+    handles = []
+    for delay, cancel in events:
+        handle = sim.schedule(delay, fired.append, delay)
+        handles.append((handle, cancel))
+    for handle, cancel in handles:
+        if cancel:
+            handle.cancel()
+    sim.run()
+    expected = sorted(delay for (delay, cancel) in events if not cancel)
+    assert sorted(fired) == expected
+
+
+# ----------------------------------------------------------------------
+# Trace merging: output is always a disjoint sorted cover of the input
+# ----------------------------------------------------------------------
+interval_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1000.0),
+        st.floats(min_value=0.001, max_value=100.0),
+    ).map(lambda pair: Interval(pair[0], pair[0] + pair[1])),
+    max_size=30,
+)
+
+
+@given(interval_lists)
+def test_merge_produces_disjoint_sorted_intervals(intervals):
+    merged = merge_intervals(intervals)
+    for earlier, later in zip(merged, merged[1:]):
+        assert earlier.end < later.start
+
+
+@given(interval_lists)
+def test_merge_preserves_coverage(intervals):
+    merged = merge_intervals(intervals)
+
+    def covered(time, intervals):
+        return any(i.contains(time) for i in intervals)
+
+    probes = [i.start for i in intervals] + [
+        (i.start + i.end) / 2 for i in intervals
+    ]
+    for probe in probes:
+        assert covered(probe, intervals) == covered(probe, merged)
+
+
+@given(interval_lists)
+def test_merge_total_duration_never_shrinks_below_max_piece(intervals):
+    merged = merge_intervals(intervals)
+    total_merged = sum(i.duration for i in merged)
+    if intervals:
+        assert total_merged >= max(i.duration for i in intervals) - 1e-9
+        assert total_merged <= sum(i.duration for i in intervals) + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Token account: arbitrary grant/withdraw/refund sequences keep invariants
+# ----------------------------------------------------------------------
+operations = st.lists(
+    st.tuples(st.sampled_from(["grant", "withdraw", "refund"]), st.integers(0, 5)),
+    max_size=80,
+)
+
+
+@given(st.integers(0, 10), operations)
+def test_account_invariants_under_arbitrary_operations(capacity, ops):
+    account = TokenAccount(capacity=capacity)
+    for op, amount in ops:
+        if op == "grant":
+            account.grant()
+        elif op == "withdraw":
+            try:
+                account.withdraw(amount)
+            except OverspendError:
+                pass
+        else:
+            account.refund(amount)
+        assert 0 <= account.balance <= capacity
+
+
+# ----------------------------------------------------------------------
+# Whole-system: short random simulations keep every protocol invariant
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(
+    st.sampled_from(
+        [
+            ("simple", None, 5),
+            ("generalized", 1, 5),
+            ("generalized", 3, 6),
+            ("randomized", 2, 4),
+            ("randomized", 5, 10),
+        ]
+    ),
+    st.integers(3, 10),
+    st.integers(0, 2**30),
+)
+def test_simulation_invariants(spec, n, seed):
+    name, a_param, capacity = spec
+    if name == "simple":
+        strategy = SimpleTokenAccount(capacity)
+    elif name == "generalized":
+        strategy = GeneralizedTokenAccount(a_param, capacity)
+    else:
+        strategy = RandomizedTokenAccount(a_param, capacity)
+    system = MiniSystem(strategy, n=n, period=10.0, seed=seed, useful=True)
+    system.start()
+    system.run(until=300.0)
+    for node in system.nodes:
+        # Non-negativity and capacity invariants.
+        assert 0 <= node.account.balance <= capacity
+        # Conservation: granted tokens = spent + still held.
+        assert node.account.granted == node.account.spent + node.account.balance
+    stats = system.network.stats
+    # Every sent message is delivered, lost, or still in flight.
+    resolved = stats.delivered + stats.lost_offline + stats.lost_dropped
+    assert resolved <= stats.sent
+    in_flight = stats.sent - resolved
+    assert in_flight >= 0
+    if system.sim.pending == 0:
+        assert in_flight == 0

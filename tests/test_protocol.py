@@ -1,0 +1,260 @@
+"""Unit tests for Algorithm 4 mechanics (the TokenAccountNode)."""
+
+import pytest
+
+from repro.core.protocol import DATA
+from repro.core.strategies import (
+    GeneralizedTokenAccount,
+    ProactiveStrategy,
+    PureReactiveStrategy,
+    SimpleTokenAccount,
+)
+from tests.conftest import MiniSystem, ring_overlay
+
+
+def test_proactive_node_sends_every_round():
+    system = MiniSystem(
+        ProactiveStrategy(), n=3, period=10.0, phases=[0.0, 0.0, 0.0]
+    ).start()
+    system.run(until=95.0)
+    for node in system.nodes:
+        assert node.proactive_sends == 10  # ticks at t = 0, 10, ..., 90
+        assert node.account.balance == 0
+
+
+def test_simple_banks_until_full_then_sends():
+    """With C = 3 and no incoming traffic, a node banks 3 rounds, then
+    sends proactively every round."""
+    overlay = ring_overlay(2)
+    system = MiniSystem(
+        SimpleTokenAccount(3),
+        overlay=overlay,
+        period=10.0,
+        phases=[0.0, 5.0],
+        useful=False,
+    )
+    node = system.nodes[0]
+    system.start()
+    # After 3 ticks (t = 0, 10, 20) the account is full. But incoming
+    # messages from node 1 also trigger reactive sends; use usefulness
+    # False — the simple strategy reacts regardless (eq. 2), so isolate
+    # node 0 by checking bank-up before node 1's first delivery arrives.
+    system.sim.run(until=4.9)
+    assert node.account.balance == 1
+    assert node.proactive_sends == 0
+
+
+def test_simple_proactive_fires_when_account_full():
+    # Single sender with no incoming messages: a 2-ring where node 1 is
+    # offline keeps node 0 undisturbed, but then node 0 cannot send
+    # either. Instead give node 0 no in-links: overlay 0 -> 1, 1 -> 0
+    # with node 1 never ticking (we simply never start it).
+    overlay = ring_overlay(2)
+    system = MiniSystem(
+        SimpleTokenAccount(2), overlay=overlay, period=10.0, phases=[0.0, 0.0]
+    )
+    node = system.nodes[0]
+    node.start()  # node 1 stays silent
+    system.sim.run(until=100.0)
+    # Ticks at 0, 10 bank to C = 2; from t = 20 on, every tick sends.
+    assert node.account.balance == 2
+    assert node.proactive_sends == 9  # t = 20, 30, ..., 100
+    assert node.reactive_sends == 0
+
+
+def test_reactive_send_spends_whole_balance_with_a1():
+    overlay = ring_overlay(2)
+    system = MiniSystem(
+        GeneralizedTokenAccount(1, 10),
+        overlay=overlay,
+        period=100.0,
+        phases=[0.0, 50.0],
+        useful=True,
+    )
+    node0, node1 = system.nodes
+    node0.start()
+    node1.start()
+    # Let node 0 bank a few tokens: ticks at 0, 100, 200 -> balance 3.
+    # (Generalized proactive only fires at a = C, so no sends happen.)
+    system.sim.run(until=249.0)
+    assert node0.account.balance == 3
+    # Deliver a useful message: with A = 1 node 0 spends everything.
+    from repro.sim.network import Message
+
+    node0.deliver(Message(src=1, dst=0, payload=7, kind=DATA, sent_at=249.0))
+    assert node0.messages_received == 1
+    assert node0.reactive_sends == 3
+    assert node0.account.balance == 0
+    assert node0.account.spent == 3
+
+
+def test_account_never_negative_under_any_traffic():
+    system = MiniSystem(
+        GeneralizedTokenAccount(1, 5), n=5, period=5.0, useful=True
+    ).start()
+    original_withdraw = None
+    for node in system.nodes:
+        assert node.account.balance >= 0
+    system.run(until=500.0)
+    for node in system.nodes:
+        assert node.account.balance >= 0
+
+
+def test_pure_reactive_overdraft():
+    overlay = ring_overlay(3)
+    system = MiniSystem(
+        PureReactiveStrategy(fanout=1, useful_only=False),
+        overlay=overlay,
+        period=10.0,
+        phases=[0.0, 3.0, 6.0],
+    ).start()
+    system.nodes[0].kick()
+    system.run(until=200.0)
+    # The kicked message circulates forever (each receipt sends one copy).
+    total_reactive = sum(node.reactive_sends for node in system.nodes)
+    assert total_reactive > 10
+    assert all(node.proactive_sends == 0 for node in system.nodes)
+
+
+def test_offline_node_neither_banks_nor_sends():
+    system = MiniSystem(SimpleTokenAccount(5), n=3, period=10.0)
+    node = system.nodes[0]
+    node.set_online(False)
+    system.start()
+    system.run(until=100.0)
+    assert node.account.balance == 0
+    assert node.proactive_sends == 0
+    assert node.reactive_sends == 0
+
+
+def test_message_lost_when_destination_goes_offline_mid_transfer():
+    system = MiniSystem(
+        ProactiveStrategy(), n=2, period=10.0, phases=[0.0, 0.0], transfer_time=0.1
+    )
+    system.nodes[0].start()  # node 1 silent but online: a valid peer
+    # node 0 sends at t = 0; node 1 drops offline before delivery (t=0.1).
+    system.sim.schedule_at(0.05, system.nodes[1].set_online, False)
+    system.run(until=5.0)
+    assert system.network.stats.lost_offline > 0
+    assert system.apps[1].received == []
+
+
+def test_proactive_with_no_online_peer_banks_token():
+    overlay = ring_overlay(2)
+    system = MiniSystem(
+        ProactiveStrategy(), overlay=overlay, period=10.0, phases=[0.0, 0.0]
+    )
+    system.nodes[1].set_online(False)
+    system.nodes[0].start()
+    system.run(until=35.0)
+    node = system.nodes[0]
+    assert node.proactive_sends == 0
+    assert node.skipped_no_peer == 4  # t = 0, 10, 20, 30
+    # ProactiveStrategy has capacity 0: the banked tokens are clamped.
+    assert node.account.balance == 0
+
+
+def test_no_peer_bank_respects_capacity():
+    overlay = ring_overlay(2)
+    system = MiniSystem(
+        SimpleTokenAccount(2), overlay=overlay, period=10.0, phases=[0.0, 0.0]
+    )
+    system.nodes[1].set_online(False)
+    system.nodes[0].start()
+    system.run(until=100.0)
+    assert system.nodes[0].account.balance == 2  # clamped at C
+
+
+def test_reactive_no_peer_refunds_tokens():
+    overlay = ring_overlay(2)
+    system = MiniSystem(
+        GeneralizedTokenAccount(1, 10),
+        overlay=overlay,
+        period=10.0,
+        phases=[0.0, 5.0],
+        useful=True,
+        transfer_time=1.0,
+    )
+    node0, node1 = system.nodes
+    node0.start()
+    node1.start()
+    # node 1 sends at t = 5 (balance 0 -> proactive? simple C=10 banks).
+    # Build up node 0's balance, then take node 1 offline right before a
+    # message arrives so the reactive sends have no live peer.
+    system.sim.run(until=31.0)  # node 0 banked at 0, 10, 20, 30
+    balance_before = node0.account.balance
+    assert balance_before >= 3
+    # Deliver a useful message by hand while node 1 is offline.
+    node1.set_online(False)
+    from repro.sim.network import Message
+
+    node0.deliver(Message(src=1, dst=0, payload=999, kind=DATA, sent_at=31.0))
+    assert node0.account.balance == balance_before  # fully refunded
+    assert node0.skipped_no_peer > 0
+
+
+def test_unhandled_control_message_raises():
+    system = MiniSystem(ProactiveStrategy(), n=2, period=10.0)
+    from repro.sim.network import Message
+
+    with pytest.raises(RuntimeError, match="unhandled control"):
+        system.nodes[0].deliver(
+            Message(src=1, dst=0, payload=None, kind="mystery", sent_at=0.0)
+        )
+
+
+def test_send_control_rejects_data_kind():
+    system = MiniSystem(ProactiveStrategy(), n=2, period=10.0)
+    with pytest.raises(ValueError):
+        system.nodes[0].send_control(1, None, DATA)
+
+
+def test_try_spend_token():
+    system = MiniSystem(SimpleTokenAccount(5), n=2, period=10.0, initial_tokens=1)
+    node = system.nodes[0]
+    assert node.try_spend_token() is True
+    assert node.account.balance == 0
+    assert node.try_spend_token() is False
+
+
+def test_kick_sends_without_touching_account():
+    system = MiniSystem(SimpleTokenAccount(5), n=3, period=10.0, initial_tokens=3)
+    node = system.nodes[0]
+    assert node.kick(2) == 2
+    assert node.account.balance == 3
+    assert system.network.sent_per_node[0] == 2
+
+
+def test_kick_while_offline_is_noop():
+    system = MiniSystem(SimpleTokenAccount(5), n=3, period=10.0)
+    system.nodes[0].set_online(False)
+    assert system.nodes[0].kick() == 0
+
+
+def test_useful_counter():
+    overlay = ring_overlay(2)
+    system = MiniSystem(
+        ProactiveStrategy(),
+        overlay=overlay,
+        period=10.0,
+        phases=[0.0, 0.0],
+        useful=lambda payload: payload % 2 == 0,
+    ).start()
+    system.run(until=100.0)
+    node = system.nodes[0]
+    assert node.messages_received > 0
+    assert 0 < node.useful_received <= node.messages_received
+
+
+def test_app_lifecycle_hooks_fire():
+    system = MiniSystem(ProactiveStrategy(), n=2, period=10.0).start()
+    node = system.nodes[0]
+    node.set_online(False)
+    node.set_online(True)
+    assert system.apps[0].online_events == [("offline", None), ("online", None)]
+
+
+def test_app_bind_rejects_double_binding():
+    system = MiniSystem(ProactiveStrategy(), n=2, period=10.0)
+    with pytest.raises(RuntimeError):
+        system.apps[0].bind(system.nodes[1])

@@ -1,0 +1,101 @@
+"""Additional edge-case tests for the protocol loop."""
+
+import pytest
+
+from repro.core.protocol import DATA
+from repro.core.strategies import (
+    GeneralizedTokenAccount,
+    ProactiveStrategy,
+    RandomizedTokenAccount,
+    SimpleTokenAccount,
+)
+from repro.sim.network import Message
+from tests.conftest import MiniSystem, ring_overlay
+
+
+def test_useful_counter_with_graded_usefulness():
+    """Float grades count as useful iff positive (truthiness)."""
+    grades = iter([0.0, 0.5, 1.0, 0.0])
+    system = MiniSystem(
+        SimpleTokenAccount(5),
+        n=2,
+        period=10.0,
+        useful=lambda payload: next(grades),
+    )
+    node = system.nodes[0]
+    for i in range(4):
+        node.deliver(Message(src=1, dst=0, payload=i, kind=DATA, sent_at=0.0))
+    assert node.messages_received == 4
+    assert node.useful_received == 2  # the 0.5 and 1.0 grades
+
+
+def test_kick_partial_when_no_peers():
+    overlay = ring_overlay(2)
+    system = MiniSystem(SimpleTokenAccount(5), overlay=overlay, period=10.0)
+    system.nodes[1].set_online(False)
+    assert system.nodes[0].kick(3) == 0
+
+
+def test_total_sends_property():
+    system = MiniSystem(
+        ProactiveStrategy(), n=3, period=10.0, phases=[0.0, 0.0, 0.0]
+    ).start()
+    system.run(until=25.0)
+    node = system.nodes[0]
+    assert node.total_sends == node.proactive_sends + node.reactive_sends
+    assert node.total_sends == 3  # t = 0, 10, 20
+
+
+def test_initial_tokens_bounded_by_capacity():
+    with pytest.raises(ValueError):
+        MiniSystem(SimpleTokenAccount(3), n=2, period=10.0, initial_tokens=5)
+
+
+def test_generalized_useless_messages_still_spend_when_rich():
+    """Equation (3)'s useless branch: with a = 2A the node still sends
+    one message in response to a useless delivery."""
+    system = MiniSystem(
+        GeneralizedTokenAccount(2, 8),
+        n=3,
+        period=1000.0,
+        useful=False,
+        initial_tokens=4,
+    )
+    node = system.nodes[0]
+    node.deliver(Message(src=1, dst=0, payload=0, kind=DATA, sent_at=0.0))
+    # reactive(4, False) = (2 - 1 + 4) // 4 = 1
+    assert node.reactive_sends == 1
+    assert node.account.balance == 3
+
+
+def test_randomized_zero_balance_never_reacts():
+    system = MiniSystem(
+        RandomizedTokenAccount(2, 8), n=3, period=1000.0, useful=True
+    )
+    node = system.nodes[0]
+    for _ in range(10):
+        node.deliver(Message(src=1, dst=0, payload=0, kind=DATA, sent_at=0.0))
+    assert node.reactive_sends == 0
+    assert node.account.balance == 0
+
+
+def test_stop_halts_node_activity():
+    system = MiniSystem(
+        ProactiveStrategy(), n=2, period=10.0, phases=[0.0, 5.0]
+    ).start()
+    system.run(until=15.0)
+    sends_before = system.nodes[0].proactive_sends
+    system.nodes[0].stop()
+    system.run(until=100.0)
+    assert system.nodes[0].proactive_sends == sends_before
+
+
+def test_account_conservation_over_long_run():
+    """granted == spent + balance at all times (checked at the end)."""
+    system = MiniSystem(
+        GeneralizedTokenAccount(2, 6), n=6, period=5.0, useful=True
+    ).start()
+    system.run(until=2000.0)
+    for node in system.nodes:
+        account = node.account
+        assert account.granted == account.spent + account.balance

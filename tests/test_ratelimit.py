@@ -1,0 +1,112 @@
+"""Tests for the §3.4 burst bound and its auditor."""
+
+import pytest
+
+from repro.core.ratelimit import RateLimitAuditor, burst_bound
+from repro.core.strategies import (
+    GeneralizedTokenAccount,
+    RandomizedTokenAccount,
+    SimpleTokenAccount,
+)
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.node import SimNode
+from tests.conftest import MiniSystem
+
+
+class Sink(SimNode):
+    def deliver(self, message):
+        pass
+
+
+def test_burst_bound_formula():
+    # ceil(t/Delta) + C
+    assert burst_bound(0.0, 10.0, 5) == 5
+    assert burst_bound(10.0, 10.0, 5) == 6
+    assert burst_bound(25.0, 10.0, 5) == 8
+    assert burst_bound(9.99, 10.0, 0) == 1
+
+
+def test_burst_bound_validation():
+    with pytest.raises(ValueError):
+        burst_bound(-1.0, 10.0, 0)
+    with pytest.raises(ValueError):
+        burst_bound(1.0, 0.0, 0)
+    with pytest.raises(ValueError):
+        burst_bound(1.0, 10.0, -1)
+
+
+def make_network_with_sends(times, kind="data"):
+    sim = Simulator()
+    network = Network(sim, 0.0)
+    network.register_all([Sink(0), Sink(1)])
+    auditor = RateLimitAuditor(network)
+    for time in times:
+        sim.schedule_at(time, network.send, 0, 1, None, kind)
+    sim.run()
+    return auditor
+
+
+def test_max_sends_in_window():
+    auditor = make_network_with_sends([0.0, 1.0, 2.0, 50.0, 51.0])
+    assert auditor.max_sends_in_window(0, 3.0) == 3
+    assert auditor.max_sends_in_window(0, 1.5) == 2
+    assert auditor.max_sends_in_window(0, 100.0) == 5
+    assert auditor.max_sends_in_window(0, 0.5) == 1
+    assert auditor.max_sends_in_window(99, 10.0) == 0
+
+
+def test_window_is_half_open():
+    auditor = make_network_with_sends([0.0, 5.0])
+    # Window [0, 5) does not include the send at exactly t = 5.
+    assert auditor.max_sends_in_window(0, 5.0) == 1
+
+
+def test_check_flags_violation():
+    # 7 sends within one second: must violate Delta = 10, C = 2
+    auditor = make_network_with_sends([0.1 * i for i in range(7)])
+    violations = auditor.check(period=10.0, capacity=2)
+    assert violations
+    worst = violations[0]
+    assert worst.node_id == 0
+    assert worst.sends > worst.bound
+
+
+def test_check_passes_compliant_pattern():
+    # One send per period plus an initial burst of C.
+    times = [0.0, 0.1, 0.2] + [10.0 * k for k in range(1, 10)]
+    auditor = make_network_with_sends(times)
+    assert auditor.check(period=10.0, capacity=3) == []
+
+
+def test_control_messages_not_counted():
+    auditor = make_network_with_sends([0.0, 0.1, 0.2], kind="pull-request")
+    assert auditor.total_sends(0) == 0
+
+
+def test_total_sends():
+    auditor = make_network_with_sends([1.0, 2.0, 3.0])
+    assert auditor.total_sends(0) == 3
+
+
+# ----------------------------------------------------------------------
+# End-to-end: simulated token account runs never violate the bound.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "strategy",
+    [
+        SimpleTokenAccount(5),
+        GeneralizedTokenAccount(1, 8),
+        GeneralizedTokenAccount(2, 4),
+        RandomizedTokenAccount(3, 6),
+    ],
+    ids=lambda s: s.describe(),
+)
+def test_simulated_runs_respect_bound(strategy):
+    system = MiniSystem(strategy, n=8, period=10.0, useful=True)
+    auditor = RateLimitAuditor(system.network)
+    system.start()
+    system.run(until=600.0)
+    assert system.network.stats.sent > 0
+    violations = auditor.check(period=10.0, capacity=strategy.token_capacity)
+    assert violations == [], "\n".join(str(v) for v in violations)

@@ -1,0 +1,332 @@
+"""Tests for the token-budgeted replication repair application (§5)."""
+
+import random
+
+import pytest
+
+from repro.apps.replication import (
+    FailureDetector,
+    PermanentFailureInjector,
+    ReplicationApp,
+    ReplicationMetric,
+    place_objects,
+)
+from repro.core.strategies import ProactiveStrategy, SimpleTokenAccount
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from tests.conftest import MiniSystem
+
+
+def repl_system(strategy, n=5, target=3, **kwargs):
+    system = MiniSystem(
+        strategy,
+        n=n,
+        app_factory=lambda i: ReplicationApp(target),
+        **kwargs,
+    )
+    return system
+
+
+# ----------------------------------------------------------------------
+# App state machine
+# ----------------------------------------------------------------------
+def test_hold_installs_view_including_self():
+    system = repl_system(ProactiveStrategy())
+    app = system.apps[0]
+    app.hold(7, {1, 2})
+    assert app.holder_views[7] == {0, 1, 2}
+    assert app.deficit(7) == 0
+
+
+def test_most_urgent_prefers_largest_deficit():
+    system = repl_system(ProactiveStrategy())
+    app = system.apps[0]
+    app.hold(1, {1, 2})  # deficit 0
+    app.hold(2, {1})  # deficit 1
+    app.hold(3, set())  # deficit 2
+    assert app.most_urgent_object() == 3
+
+
+def test_most_urgent_rotates_over_ties():
+    system = repl_system(ProactiveStrategy())
+    app = system.apps[0]
+    app.hold(1, {1})
+    app.hold(2, {1})
+    picks = {app.most_urgent_object() for _ in range(4)}
+    assert picks == {1, 2}
+
+
+def test_most_urgent_none_when_all_met():
+    system = repl_system(ProactiveStrategy())
+    app = system.apps[0]
+    app.hold(1, {1, 2})
+    assert app.most_urgent_object() is None
+
+
+def test_create_message_anti_entropy_fallback():
+    system = repl_system(ProactiveStrategy())
+    app = system.apps[0]
+    app.hold(1, {1, 2})
+    app.hold(2, {1, 3})
+    payloads = {app.create_message()[0] for _ in range(4)}
+    assert payloads == {1, 2}  # rotates over healthy objects
+
+
+def test_create_message_none_when_empty():
+    system = repl_system(ProactiveStrategy())
+    assert system.apps[0].create_message() is None
+
+
+def test_adopt_under_replicated_object():
+    system = repl_system(ProactiveStrategy(), target=3)
+    app = system.apps[0]
+    useful = app.update_state((9, frozenset({1, 2})), sender=1)
+    assert useful is True
+    assert app.holder_views[9] == {0, 1, 2}
+    assert app.adopted == 1
+
+
+def test_refuse_healthy_object():
+    system = repl_system(ProactiveStrategy(), target=3)
+    app = system.apps[0]
+    useful = app.update_state((9, frozenset({1, 2, 3})), sender=1)
+    assert useful is False
+    assert 9 not in app.holder_views
+
+
+def test_merge_views_for_held_object():
+    system = repl_system(ProactiveStrategy(), target=3)
+    app = system.apps[0]
+    app.hold(9, {1})
+    assert app.update_state((9, frozenset({1, 2})), sender=1) is True  # learned 2
+    assert app.holder_views[9] == {0, 1, 2}
+    assert app.update_state((9, frozenset({1, 2})), sender=2) is False  # no news
+
+
+def test_null_payload_useless():
+    system = repl_system(ProactiveStrategy())
+    assert system.apps[0].update_state(None, sender=1) is False
+
+
+def test_coholder_failure_cleans_views_and_reacts():
+    system = repl_system(SimpleTokenAccount(5), target=3, initial_tokens=2)
+    app, node = system.apps[0], system.nodes[0]
+    app.hold(9, {1, 2})
+    app.on_coholder_failed(2)
+    assert app.holder_views[9] == {0, 1}
+    assert app.detections == 1
+    assert node.reactive_sends == 1  # one token spent on repair
+
+
+def test_unrelated_failure_ignored():
+    system = repl_system(SimpleTokenAccount(5), target=3, initial_tokens=2)
+    app, node = system.apps[0], system.nodes[0]
+    app.hold(9, {1, 2})
+    app.on_coholder_failed(4)
+    assert app.detections == 0
+    assert node.reactive_sends == 0
+
+
+def test_reactive_detection_can_be_disabled():
+    system = MiniSystem(
+        SimpleTokenAccount(5),
+        n=3,
+        app_factory=lambda i: ReplicationApp(3, reactive_detection=False),
+        initial_tokens=2,
+    )
+    app, node = system.apps[0], system.nodes[0]
+    app.hold(9, {1, 2})
+    app.on_coholder_failed(2)
+    assert app.holder_views[9] == {0, 1}  # view still cleaned
+    assert node.reactive_sends == 0  # but no reactive repair
+
+
+def test_target_validation():
+    with pytest.raises(ValueError):
+        ReplicationApp(0)
+
+
+# ----------------------------------------------------------------------
+# Placement
+# ----------------------------------------------------------------------
+def test_place_objects():
+    system = repl_system(ProactiveStrategy(), n=10, target=3)
+    placement = place_objects(system.apps, 20, 3, random.Random(1))
+    assert len(placement) == 20
+    for object_id, holders in placement.items():
+        assert len(holders) == 3
+        for node_id in holders:
+            assert object_id in system.apps[node_id].holder_views
+            assert system.apps[node_id].holder_views[object_id] == holders
+
+
+def test_place_objects_impossible_target():
+    system = repl_system(ProactiveStrategy(), n=3)
+    with pytest.raises(ValueError):
+        place_objects(system.apps, 5, 4, random.Random(1))
+
+
+# ----------------------------------------------------------------------
+# Failure detector and injector
+# ----------------------------------------------------------------------
+def test_detector_notifies_believed_coholders_after_delay():
+    system = repl_system(SimpleTokenAccount(5), n=4, target=3)
+    system.apps[0].hold(9, {2})
+    system.apps[1].hold(8, {3})  # unrelated to node 2
+    detector = FailureDetector(system.sim, system.nodes, delay=5.0)
+    detector.node_failed(2)
+    system.sim.run(until=4.9)
+    assert system.apps[0].holder_views[9] == {0, 2}  # not yet
+    system.sim.run(until=5.0)
+    assert system.apps[0].holder_views[9] == {0}
+    assert system.apps[1].holder_views[8] == {1, 3}  # untouched
+    assert detector.notifications == 1
+
+
+def test_detector_skips_offline_nodes():
+    system = repl_system(SimpleTokenAccount(5), n=3, target=3)
+    system.apps[0].hold(9, {2})
+    system.nodes[0].set_online(False)
+    detector = FailureDetector(system.sim, system.nodes, delay=1.0)
+    detector.node_failed(2)
+    system.sim.run()
+    assert detector.notifications == 0
+
+
+def test_detector_delay_validation():
+    system = repl_system(ProactiveStrategy())
+    with pytest.raises(ValueError):
+        FailureDetector(system.sim, system.nodes, delay=-1.0)
+
+
+def test_injector_fails_expected_fraction():
+    system = repl_system(SimpleTokenAccount(5), n=20, target=3)
+    detector = FailureDetector(system.sim, system.nodes, delay=1.0)
+    injector = PermanentFailureInjector(
+        system.sim,
+        system.nodes,
+        detector,
+        fail_fraction=0.25,
+        rng=random.Random(3),
+        start=10.0,
+        end=20.0,
+    )
+    system.sim.run(until=100.0)
+    assert len(injector.failed) == 5
+    for node_id in injector.failed:
+        assert not system.nodes[node_id].online
+        assert not system.nodes[node_id].process.running
+
+
+def test_injector_validation():
+    system = repl_system(ProactiveStrategy())
+    detector = FailureDetector(system.sim, system.nodes, delay=1.0)
+    with pytest.raises(ValueError):
+        PermanentFailureInjector(
+            system.sim, system.nodes, detector, 1.0, random.Random(1), 0.0, 1.0
+        )
+    with pytest.raises(ValueError):
+        PermanentFailureInjector(
+            system.sim, system.nodes, detector, 0.5, random.Random(1), 5.0, 1.0
+        )
+
+
+# ----------------------------------------------------------------------
+# Ground-truth metric
+# ----------------------------------------------------------------------
+def test_metric_counts_true_holders():
+    system = repl_system(ProactiveStrategy(), n=4, target=3)
+    metric = ReplicationMetric(system.nodes, n_objects=3, target_replication=3)
+    system.apps[0].hold(0, {1, 2})
+    system.apps[1].hold(0, {0, 2})
+    system.apps[2].hold(0, {0, 1})
+    system.apps[0].hold(1, set())
+    # object 0: 3 holders (healthy); object 1: 1 holder; object 2: lost
+    assert metric.lost_objects() == 1
+    assert metric.under_replicated() == 1
+    assert metric(0.0) == pytest.approx(1 / 2)  # of 2 surviving objects
+    assert metric.mean_replication() == pytest.approx(2.0)
+
+
+def test_metric_ignores_offline_nodes():
+    system = repl_system(ProactiveStrategy(), n=3, target=2)
+    metric = ReplicationMetric(system.nodes, n_objects=1, target_replication=2)
+    system.apps[0].hold(0, {1})
+    system.apps[1].hold(0, {0})
+    assert metric.under_replicated() == 0
+    system.nodes[1].set_online(False)
+    assert metric.under_replicated() == 1
+
+
+# ----------------------------------------------------------------------
+# End-to-end through the runner
+# ----------------------------------------------------------------------
+def test_token_account_repairs_after_burst():
+    result = run_experiment(
+        ExperimentConfig(
+            app="replication-repair",
+            strategy="randomized",
+            spend_rate=5,
+            capacity=10,
+            n=150,
+            periods=80,
+            seed=1,
+            fail_fraction=0.15,
+            fail_window=(0.3, 0.32),
+            audit_sends=True,
+        )
+    )
+    assert result.ratelimit_violations == []
+    assert result.messages_per_node_per_period <= 1.02
+    # The burst damaged replication...
+    assert result.metric.max() > 0.1
+    # ...and the system fully repaired by the end.
+    assert result.metric.final() == 0.0
+
+
+def test_proactive_repairs_slower_than_token_account():
+    def recovery_time(strategy, a, c):
+        result = run_experiment(
+            ExperimentConfig(
+                app="replication-repair",
+                strategy=strategy,
+                spend_rate=a,
+                capacity=c,
+                n=150,
+                periods=80,
+                seed=1,
+                fail_fraction=0.15,
+                fail_window=(0.3, 0.32),
+                sample_interval=43.2,
+            )
+        )
+        burst_end = result.metric.times[-1] * 0.32
+        recovered = result.metric.tail(burst_end).first_time_below(0.02)
+        assert recovered is not None
+        return recovered - burst_end
+
+    proactive = recovery_time("proactive", None, None)
+    randomized = recovery_time("randomized", 5, 10)
+    assert randomized < proactive
+
+
+def test_config_rejects_trace_scenario():
+    with pytest.raises(ValueError, match="permanent failures"):
+        ExperimentConfig(
+            app="replication-repair", strategy="proactive", scenario="trace"
+        )
+
+
+def test_config_validates_failure_parameters():
+    with pytest.raises(ValueError):
+        ExperimentConfig(
+            app="replication-repair", strategy="proactive", fail_fraction=1.5
+        )
+    with pytest.raises(ValueError):
+        ExperimentConfig(
+            app="replication-repair", strategy="proactive", fail_window=(0.8, 0.2)
+        )
+    with pytest.raises(ValueError):
+        ExperimentConfig(
+            app="replication-repair", strategy="proactive", target_replication=0
+        )

@@ -1,0 +1,53 @@
+"""Unit tests for the probabilistic rounding of Algorithm 4."""
+
+import random
+
+import pytest
+
+from repro.core.rounding import rand_round
+
+
+def test_integers_round_exactly():
+    rng = random.Random(1)
+    for value in (0, 1, 2, 7, 100):
+        for _ in range(20):
+            assert rand_round(float(value), rng) == value
+
+
+def test_result_is_floor_or_ceil():
+    rng = random.Random(2)
+    for _ in range(500):
+        result = rand_round(3.3, rng)
+        assert result in (3, 4)
+
+
+def test_expectation_is_unbiased():
+    """E[rand_round(r)] = r — the property §4.3 relies on."""
+    rng = random.Random(3)
+    for value in (0.25, 0.5, 2.75, 9.9):
+        samples = 20_000
+        total = sum(rand_round(value, rng) for _ in range(samples))
+        assert total / samples == pytest.approx(value, abs=0.05)
+
+
+def test_fraction_probability_matches():
+    rng = random.Random(4)
+    ups = sum(1 for _ in range(20_000) if rand_round(1.2, rng) == 2)
+    assert ups / 20_000 == pytest.approx(0.2, abs=0.02)
+
+
+def test_negative_value_rejected():
+    with pytest.raises(ValueError):
+        rand_round(-0.1, random.Random(1))
+
+
+def test_zero():
+    assert rand_round(0.0, random.Random(1)) == 0
+
+
+def test_near_integer_float_noise():
+    """Values like 2.9999999 must never round to 4."""
+    rng = random.Random(5)
+    for _ in range(100):
+        assert rand_round(2.9999999, rng) in (2, 3)
+        assert rand_round(3.0000001, rng) in (3, 4)

@@ -1,0 +1,209 @@
+"""Integration tests for the experiment runner — small-scale versions of
+the paper's headline claims."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_averaged, run_experiment
+
+# Small but meaningful scale: big enough for the qualitative effects,
+# small enough to keep the whole file under a minute.
+SMALL = dict(n=200, periods=80)
+
+
+def small_config(**kwargs):
+    base = dict(SMALL)
+    base.update(kwargs)
+    return ExperimentConfig(**base)
+
+
+def test_determinism_same_seed_same_series():
+    config = small_config(
+        app="push-gossip", strategy="randomized", spend_rate=5, capacity=10, seed=3
+    )
+    a = run_experiment(config)
+    b = run_experiment(config)
+    assert a.metric.times == b.metric.times
+    assert a.metric.values == b.metric.values
+    assert a.data_messages == b.data_messages
+
+
+def test_different_seeds_differ():
+    config = small_config(app="push-gossip", strategy="simple", capacity=10)
+    a = run_experiment(config.with_overrides(seed=1))
+    b = run_experiment(config.with_overrides(seed=2))
+    assert a.metric.values != b.metric.values
+
+
+def test_proactive_rate_is_one_message_per_period():
+    result = run_experiment(small_config(app="push-gossip", strategy="proactive"))
+    assert result.messages_per_node_per_period == pytest.approx(1.0, abs=0.02)
+
+
+def test_token_account_rate_never_exceeds_proactive():
+    """The service's promise: same (or lower) overall communication rate."""
+    for strategy, a, c in [
+        ("simple", None, 10),
+        ("generalized", 5, 10),
+        ("randomized", 10, 20),
+    ]:
+        result = run_experiment(
+            small_config(
+                app="gossip-learning", strategy=strategy, spend_rate=a, capacity=c
+            )
+        )
+        assert result.messages_per_node_per_period <= 1.02
+
+
+def test_gossip_learning_token_account_beats_proactive():
+    """The qualitative Figure 2 (top) claim at small scale."""
+    proactive = run_experiment(
+        small_config(app="gossip-learning", strategy="proactive")
+    )
+    randomized = run_experiment(
+        small_config(
+            app="gossip-learning", strategy="randomized", spend_rate=10, capacity=20
+        )
+    )
+    assert randomized.metric.final() > 3 * proactive.metric.final()
+
+
+def test_push_gossip_token_account_beats_proactive():
+    """The qualitative Figure 2 (middle) claim at small scale."""
+    proactive = run_experiment(small_config(app="push-gossip", strategy="proactive"))
+    generalized = run_experiment(
+        small_config(
+            app="push-gossip", strategy="generalized", spend_rate=5, capacity=10
+        )
+    )
+    # Compare steady-state average lag over the last half of the run.
+    start = proactive.metric.times[-1] / 2
+    assert generalized.metric.mean(start=start) < proactive.metric.mean(start=start)
+
+
+def test_burst_bound_holds_in_full_runs():
+    for strategy, a, c in [
+        ("simple", None, 5),
+        ("generalized", 1, 10),
+        ("randomized", 5, 10),
+    ]:
+        result = run_experiment(
+            small_config(
+                app="push-gossip",
+                strategy=strategy,
+                spend_rate=a,
+                capacity=c,
+                audit_sends=True,
+            )
+        )
+        assert result.ratelimit_violations == []
+
+
+def test_trace_scenario_runs_and_audits_clean():
+    result = run_experiment(
+        small_config(
+            app="push-gossip",
+            strategy="randomized",
+            spend_rate=5,
+            capacity=10,
+            scenario="trace",
+            audit_sends=True,
+        )
+    )
+    assert result.ratelimit_violations == []
+    assert not result.metric.empty
+    # Under churn some nodes are offline: the rate must be well below 1.
+    assert result.messages_per_node_per_period < 0.9
+
+
+def test_trace_scenario_pull_requests_flow():
+    result = run_experiment(
+        small_config(
+            app="push-gossip",
+            strategy="simple",
+            capacity=10,
+            scenario="trace",
+        )
+    )
+    assert result.network.by_kind.get("pull-request", 0) > 0
+
+
+def test_token_collection():
+    result = run_experiment(
+        small_config(
+            app="gossip-learning",
+            strategy="randomized",
+            spend_rate=5,
+            capacity=10,
+            collect_tokens=True,
+        )
+    )
+    assert result.tokens is not None
+    assert not result.tokens.empty
+    assert all(0 <= value <= 10 for value in result.tokens.values)
+
+
+def test_gossip_learning_reports_surviving_walks():
+    result = run_experiment(small_config(app="gossip-learning", strategy="proactive"))
+    assert result.surviving_walks is not None
+    assert 1 <= result.surviving_walks <= SMALL["n"]
+
+
+def test_token_account_reduces_walk_count():
+    """§4.2: 'the token account service has a side-effect of reducing the
+    number of models at the cost of speeding them up. In fact, we can
+    observe an emergent evolutionary process in which random walks fight
+    for bandwidth.'
+
+    Both protocols eventually collapse to few walks in a finite network;
+    the evolutionary fight makes the token account collapse at least as
+    far while its walks move an order of magnitude faster. Compared at a
+    horizon where the proactive baseline still holds several walks.
+    """
+    proactive = run_experiment(
+        small_config(app="gossip-learning", strategy="proactive", periods=25)
+    )
+    randomized = run_experiment(
+        small_config(
+            app="gossip-learning",
+            strategy="randomized",
+            spend_rate=10,
+            capacity=20,
+            periods=25,
+        )
+    )
+    assert randomized.surviving_walks <= proactive.surviving_walks
+    assert randomized.metric.final() > 3 * proactive.metric.final()
+
+
+def test_averaged_runs_smooth_the_series():
+    config = small_config(
+        app="push-gossip", strategy="randomized", spend_rate=5, capacity=10
+    )
+    single = run_experiment(config)
+    averaged = run_averaged(config, repeats=3)
+    assert len(averaged.metric) <= len(single.metric)
+    assert not averaged.metric.empty
+
+
+def test_run_averaged_validates_repeats():
+    config = small_config(app="push-gossip", strategy="proactive")
+    with pytest.raises(ValueError):
+        run_averaged(config, repeats=0)
+
+
+def test_chaotic_iteration_runs_end_to_end():
+    result = run_experiment(
+        small_config(app="chaotic-iteration", strategy="generalized",
+                     spend_rate=5, capacity=10)
+    )
+    assert not result.metric.empty
+    # Angle decreases over the run.
+    assert result.metric.final() < result.metric.values[0]
+
+
+def test_summary_formatting():
+    result = run_experiment(small_config(app="gossip-learning", strategy="proactive"))
+    text = result.summary()
+    assert "gossip-learning" in text
+    assert "msgs/node/period" in text

@@ -1,0 +1,108 @@
+"""Additional runner coverage: averaging internals and result plumbing."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import _average_series, run_averaged, run_experiment
+from repro.metrics.series import TimeSeries
+
+
+def test_average_series_pointwise():
+    a = TimeSeries([(0.0, 1.0), (1.0, 3.0)])
+    b = TimeSeries([(0.0, 3.0), (1.0, 5.0)])
+    merged = _average_series([a, b])
+    assert list(merged) == [(0.0, 2.0), (1.0, 4.0)]
+
+
+def test_average_series_truncates_to_shortest():
+    a = TimeSeries([(0.0, 1.0), (1.0, 1.0), (2.0, 1.0)])
+    b = TimeSeries([(0.0, 3.0), (1.0, 3.0)])
+    merged = _average_series([a, b])
+    assert len(merged) == 2
+
+
+def test_average_series_requires_input():
+    with pytest.raises(ValueError):
+        _average_series([])
+
+
+def test_run_averaged_merges_token_series():
+    config = ExperimentConfig(
+        app="gossip-learning",
+        strategy="randomized",
+        spend_rate=2,
+        capacity=4,
+        n=50,
+        periods=15,
+        seed=3,
+        collect_tokens=True,
+    )
+    averaged = run_averaged(config, repeats=2)
+    assert averaged.tokens is not None
+    assert not averaged.tokens.empty
+    # The averaged balance stays within the capacity band.
+    assert all(0 <= value <= 4 for value in averaged.tokens.values)
+
+
+def test_run_averaged_single_repeat_is_plain_run():
+    config = ExperimentConfig(
+        app="push-gossip", strategy="simple", capacity=4, n=50, periods=15, seed=3
+    )
+    single = run_experiment(config)
+    averaged = run_averaged(config, repeats=1)
+    assert averaged.metric.values == single.metric.values
+
+
+def test_experiment_exposes_substrate_objects():
+    from repro.experiments.runner import Experiment
+
+    config = ExperimentConfig(
+        app="push-gossip", strategy="simple", capacity=4, n=50, periods=10, seed=3
+    )
+    experiment = Experiment(config)
+    assert experiment.overlay.n == 50
+    assert len(experiment.nodes) == 50
+    assert experiment.injector is not None
+    assert experiment.trace is None  # failure-free scenario
+    result = experiment.run()
+    assert result.elapsed > 0
+
+
+def test_trace_scenario_builds_trace_and_schedule():
+    from repro.experiments.runner import Experiment
+
+    config = ExperimentConfig(
+        app="push-gossip",
+        strategy="simple",
+        capacity=4,
+        n=50,
+        periods=10,
+        seed=3,
+        scenario="trace",
+    )
+    experiment = Experiment(config)
+    assert experiment.trace is not None
+    assert experiment.trace.n == 50
+    assert experiment.schedule is not None
+    # Initial node states must match the trace.
+    for node in experiment.nodes:
+        assert node.online == experiment.schedule.initial_online(node.node_id)
+
+
+def test_replication_exposes_placement_and_injector():
+    from repro.experiments.runner import Experiment
+
+    config = ExperimentConfig(
+        app="replication-repair",
+        strategy="simple",
+        capacity=4,
+        n=50,
+        periods=10,
+        seed=3,
+        fail_fraction=0.1,
+    )
+    experiment = Experiment(config)
+    assert experiment.placement is not None
+    assert len(experiment.placement) == 50  # objects_per_node = 1.0
+    assert experiment.failure_detector is not None
+    assert experiment.failure_injector is not None

@@ -1,0 +1,58 @@
+"""Tests for the benchmark scale presets."""
+
+import pytest
+
+from repro.experiments.scale import ScalePreset, current_scale
+
+
+def test_default_scale_is_ci(monkeypatch):
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    preset = current_scale()
+    assert preset.name == "ci"
+
+
+def test_scale_selected_by_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "medium")
+    assert current_scale().name == "medium"
+    monkeypatch.setenv("REPRO_SCALE", "paper")
+    assert current_scale().name == "paper"
+
+
+def test_scale_env_is_case_insensitive(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "  MEDIUM ")
+    assert current_scale().name == "medium"
+
+
+def test_unknown_scale_rejected(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "galactic")
+    with pytest.raises(ValueError, match="galactic"):
+        current_scale()
+
+
+def test_paper_scale_matches_published_numbers(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "paper")
+    preset = current_scale()
+    assert preset.n == 5000
+    assert preset.n_large == 500_000
+    assert preset.periods == 1000
+    assert preset.repeats == 10
+    assert preset.trace_users == 40_658
+
+
+def test_scales_are_ordered(monkeypatch):
+    presets = []
+    for name in ("ci", "medium", "paper"):
+        monkeypatch.setenv("REPRO_SCALE", name)
+        presets.append(current_scale())
+    for smaller, larger in zip(presets, presets[1:]):
+        assert smaller.n <= larger.n
+        assert smaller.n_large <= larger.n_large
+        assert smaller.periods <= larger.periods
+
+
+def test_label_mentions_sizes():
+    preset = ScalePreset(
+        name="x", n=10, n_large=20, periods=5, repeats=2, trace_users=7
+    )
+    assert "N=10" in preset.label
+    assert "periods=5" in preset.label

@@ -1,0 +1,89 @@
+"""Tests for the TimeSeries container."""
+
+import math
+
+import pytest
+
+from repro.metrics.series import TimeSeries
+
+
+def test_append_and_iterate():
+    series = TimeSeries()
+    series.append(0.0, 1.0)
+    series.append(1.0, 2.0)
+    assert len(series) == 2
+    assert list(series) == [(0.0, 1.0), (1.0, 2.0)]
+    assert series[1] == (1.0, 2.0)
+
+
+def test_construct_from_points():
+    series = TimeSeries([(0.0, 5.0), (2.0, 6.0)])
+    assert series.final() == 6.0
+
+
+def test_non_monotone_append_rejected():
+    series = TimeSeries([(5.0, 1.0)])
+    with pytest.raises(ValueError):
+        series.append(4.0, 2.0)
+
+
+def test_equal_times_allowed():
+    series = TimeSeries([(1.0, 1.0)])
+    series.append(1.0, 2.0)
+    assert len(series) == 2
+
+
+def test_final_on_empty_raises():
+    with pytest.raises(ValueError):
+        TimeSeries().final()
+
+
+def test_value_at():
+    series = TimeSeries([(0.0, 10.0), (5.0, 20.0), (10.0, 30.0)])
+    assert series.value_at(0.0) == 10.0
+    assert series.value_at(4.9) == 10.0
+    assert series.value_at(5.0) == 20.0
+    assert series.value_at(100.0) == 30.0
+    with pytest.raises(ValueError):
+        series.value_at(-1.0)
+
+
+def test_mean_over_window():
+    series = TimeSeries([(0.0, 1.0), (1.0, 2.0), (2.0, 3.0), (3.0, 4.0)])
+    assert series.mean() == 2.5
+    assert series.mean(start=2.0) == 3.5
+    assert series.mean(start=1.0, end=2.0) == 2.5
+    with pytest.raises(ValueError):
+        series.mean(start=100.0)
+
+
+def test_min_max():
+    series = TimeSeries([(0.0, 3.0), (1.0, 1.0), (2.0, 2.0)])
+    assert series.min() == 1.0
+    assert series.max() == 3.0
+
+
+def test_threshold_crossings():
+    series = TimeSeries([(0.0, 10.0), (1.0, 5.0), (2.0, 1.0)])
+    assert series.first_time_below(6.0) == 1.0
+    assert series.first_time_below(0.5) is None
+    assert series.first_time_at_least(10.0) == 0.0
+    assert series.first_time_at_least(11.0) is None
+
+
+def test_map_values():
+    series = TimeSeries([(0.0, 1.0), (1.0, 4.0)])
+    doubled = series.map_values(lambda v: 2 * v)
+    assert list(doubled) == [(0.0, 2.0), (1.0, 8.0)]
+    assert list(series) == [(0.0, 1.0), (1.0, 4.0)]  # original untouched
+
+
+def test_tail():
+    series = TimeSeries([(0.0, 1.0), (5.0, 2.0), (10.0, 3.0)])
+    tail = series.tail(5.0)
+    assert list(tail) == [(5.0, 2.0), (10.0, 3.0)]
+
+
+def test_empty_flag():
+    assert TimeSeries().empty
+    assert not TimeSeries([(0.0, 0.0)]).empty

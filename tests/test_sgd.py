@@ -1,0 +1,87 @@
+"""Tests for the SGD substrate."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.apps.sgd import LinearRegressionModel, make_synthetic_regression
+
+
+def test_zero_initialized_model():
+    model = LinearRegressionModel(3)
+    assert model.predict(np.array([1.0, 2.0, 3.0])) == 0.0
+
+
+def test_sgd_step_reduces_error():
+    model = LinearRegressionModel(2)
+    features = np.array([1.0, -1.0])
+    target = 3.0
+    error_before = abs(model.predict(features) - target)
+    model.sgd_step(features, target, learning_rate=0.1)
+    error_after = abs(model.predict(features) - target)
+    assert error_after < error_before
+
+
+def test_sgd_convergence_on_separable_problem():
+    rng = random.Random(0)
+    examples, true_weights = make_synthetic_regression(
+        200, dimension=4, rng=rng, noise=0.0
+    )
+    model = LinearRegressionModel(4)
+    for _epoch in range(30):
+        for features, target in examples:
+            model.sgd_step(features, target, learning_rate=0.05)
+    assert model.mean_squared_error(examples) < 1e-3
+    assert np.allclose(model.weights, true_weights, atol=0.05)
+
+
+def test_payload_roundtrip():
+    model = LinearRegressionModel(3, weights=[1.0, 2.0, 3.0, 4.0])
+    payload = model.to_payload()
+    clone = LinearRegressionModel.from_payload(payload, 3)
+    assert np.allclose(clone.weights, model.weights)
+    clone.sgd_step(np.ones(3), 0.0, 0.1)
+    assert not np.allclose(clone.weights, model.weights)  # independent copy
+
+
+def test_copy_is_independent():
+    model = LinearRegressionModel(2, weights=[1.0, 1.0, 0.0])
+    clone = model.copy()
+    clone.sgd_step(np.ones(2), 5.0, 0.1)
+    assert not np.allclose(clone.weights, model.weights)
+
+
+def test_dimension_validation():
+    with pytest.raises(ValueError):
+        LinearRegressionModel(0)
+    with pytest.raises(ValueError):
+        LinearRegressionModel(3, weights=[1.0, 2.0])
+
+
+def test_mse_requires_examples():
+    with pytest.raises(ValueError):
+        LinearRegressionModel(2).mean_squared_error([])
+
+
+def test_synthetic_problem_shape():
+    examples, weights = make_synthetic_regression(10, dimension=5, rng=random.Random(1))
+    assert len(examples) == 10
+    assert weights.shape == (6,)
+    for features, target in examples:
+        assert features.shape == (5,)
+        assert isinstance(target, float)
+
+
+def test_synthetic_problem_validation():
+    with pytest.raises(ValueError):
+        make_synthetic_regression(0, dimension=2, rng=random.Random(1))
+
+
+def test_synthetic_reproducible():
+    a, wa = make_synthetic_regression(5, dimension=2, rng=random.Random(9))
+    b, wb = make_synthetic_regression(5, dimension=2, rng=random.Random(9))
+    assert np.allclose(wa, wb)
+    for (fa, ta), (fb, tb) in zip(a, b):
+        assert np.allclose(fa, fb)
+        assert ta == tb

@@ -1,0 +1,55 @@
+"""Tests for the 15-minute window smoothing of §4.2."""
+
+import pytest
+
+from repro.metrics.series import TimeSeries
+from repro.metrics.smoothing import window_average
+
+
+def test_simple_windows():
+    series = TimeSeries([(0.0, 1.0), (1.0, 3.0), (10.0, 10.0), (11.0, 20.0)])
+    smoothed = window_average(series, window=5.0)
+    assert list(smoothed) == [(2.5, 2.0), (12.5, 15.0)]
+
+
+def test_single_sample():
+    series = TimeSeries([(7.0, 42.0)])
+    smoothed = window_average(series, window=10.0)
+    assert list(smoothed) == [(12.0, 42.0)]  # window aligned at first sample
+
+
+def test_empty_series():
+    assert window_average(TimeSeries(), 10.0).empty
+
+
+def test_empty_windows_skipped():
+    series = TimeSeries([(0.0, 1.0), (100.0, 2.0)])
+    smoothed = window_average(series, window=10.0)
+    assert len(smoothed) == 2
+    assert smoothed.times[0] == 5.0
+    assert smoothed.times[1] == 105.0
+
+
+def test_window_alignment_at_first_sample():
+    series = TimeSeries([(50.0, 1.0), (54.0, 3.0), (61.0, 5.0)])
+    smoothed = window_average(series, window=10.0)
+    assert list(smoothed) == [(55.0, 2.0), (65.0, 5.0)]
+
+
+def test_invalid_window_rejected():
+    with pytest.raises(ValueError):
+        window_average(TimeSeries(), 0.0)
+
+
+def test_mean_is_preserved_globally():
+    series = TimeSeries([(float(i), float(i % 7)) for i in range(100)])
+    smoothed = window_average(series, window=20.0)
+    # Equal-occupancy windows: the global mean is exactly preserved.
+    assert smoothed.mean() == pytest.approx(series.mean())
+
+
+def test_smoothing_reduces_variance():
+    values = [(float(i), float((-1) ** i)) for i in range(100)]
+    series = TimeSeries(values)
+    smoothed = window_average(series, window=10.0)
+    assert max(abs(v) for v in smoothed.values) < 0.2

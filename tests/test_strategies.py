@@ -1,0 +1,234 @@
+"""Unit tests for the strategy formulas — checked against the paper's
+equations (1)-(5) value by value."""
+
+import pytest
+
+from repro.core.strategies import (
+    GeneralizedTokenAccount,
+    ProactiveStrategy,
+    PureReactiveStrategy,
+    RandomizedTokenAccount,
+    SimpleTokenAccount,
+    make_strategy,
+    validate_strategy,
+)
+
+
+# ----------------------------------------------------------------------
+# Purely proactive (§3.1)
+# ----------------------------------------------------------------------
+def test_proactive_baseline():
+    strategy = ProactiveStrategy()
+    for balance in range(10):
+        assert strategy.proactive(balance) == 1.0
+        assert strategy.reactive(balance, True) == 0.0
+        assert strategy.reactive(balance, False) == 0.0
+    assert strategy.token_capacity == 0
+
+
+# ----------------------------------------------------------------------
+# Simple token account — equations (1) and (2)
+# ----------------------------------------------------------------------
+def test_simple_proactive_threshold():
+    strategy = SimpleTokenAccount(capacity=5)
+    assert strategy.proactive(4) == 0.0
+    assert strategy.proactive(5) == 1.0
+    assert strategy.proactive(6) == 1.0
+
+
+def test_simple_reactive_one_if_any_token():
+    strategy = SimpleTokenAccount(capacity=5)
+    assert strategy.reactive(0, True) == 0.0
+    assert strategy.reactive(1, True) == 1.0
+    assert strategy.reactive(5, True) == 1.0
+    # Usefulness does not matter for the simple strategy (eq. 2).
+    assert strategy.reactive(3, False) == 1.0
+
+
+def test_simple_with_zero_capacity_is_proactive():
+    """C = 0 is the paper's proactive baseline (§3.3.1)."""
+    strategy = SimpleTokenAccount(capacity=0)
+    assert strategy.proactive(0) == 1.0
+    # The account can never hold tokens, so reactive(0, .) = 0 applies.
+    assert strategy.reactive(0, True) == 0.0
+
+
+def test_simple_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        SimpleTokenAccount(capacity=-1)
+
+
+# ----------------------------------------------------------------------
+# Generalized token account — equation (3)
+# ----------------------------------------------------------------------
+def test_generalized_useful_formula():
+    strategy = GeneralizedTokenAccount(spend_rate=5, capacity=20)
+    # (A - 1 + a) // A with A = 5
+    assert strategy.reactive(0, True) == 0  # (4+0)//5
+    assert strategy.reactive(1, True) == 1  # (4+1)//5
+    assert strategy.reactive(5, True) == 1
+    assert strategy.reactive(6, True) == 2  # (4+6)//5
+    assert strategy.reactive(11, True) == 3
+    assert strategy.reactive(20, True) == 4
+
+
+def test_generalized_useless_halves_budget():
+    strategy = GeneralizedTokenAccount(spend_rate=5, capacity=20)
+    # (A - 1 + a) // (2A) with A = 5
+    assert strategy.reactive(5, False) == 0  # tokens scarce: don't waste
+    assert strategy.reactive(6, False) == 1
+    assert strategy.reactive(16, False) == 2
+    assert strategy.reactive(20, False) == 2
+
+
+def test_generalized_a1_spends_everything_useful():
+    """With A = 1 a useful message triggers spending the full account."""
+    strategy = GeneralizedTokenAccount(spend_rate=1, capacity=10)
+    for balance in range(11):
+        assert strategy.reactive(balance, True) == balance
+
+
+def test_generalized_a_equals_c_matches_simple():
+    """'The maximal meaningful value for A is A = C in which case the
+    reactive function will be equivalent to equation (2).'"""
+    generalized = GeneralizedTokenAccount(spend_rate=10, capacity=10)
+    simple = SimpleTokenAccount(capacity=10)
+    for balance in range(11):
+        assert generalized.reactive(balance, True) == simple.reactive(balance, True)
+
+
+def test_generalized_never_overspends():
+    for a_param in (1, 2, 5, 10):
+        strategy = GeneralizedTokenAccount(spend_rate=a_param, capacity=40)
+        for balance in range(41):
+            assert strategy.reactive(balance, True) <= balance
+            assert strategy.reactive(balance, False) <= balance
+
+
+def test_generalized_proactive_same_as_simple():
+    strategy = GeneralizedTokenAccount(spend_rate=5, capacity=20)
+    assert strategy.proactive(19) == 0.0
+    assert strategy.proactive(20) == 1.0
+
+
+def test_generalized_parameter_validation():
+    with pytest.raises(ValueError):
+        GeneralizedTokenAccount(spend_rate=0, capacity=10)
+    with pytest.raises(ValueError):
+        GeneralizedTokenAccount(spend_rate=10, capacity=5)  # C < A
+
+
+# ----------------------------------------------------------------------
+# Randomized token account — equations (4) and (5)
+# ----------------------------------------------------------------------
+def test_randomized_proactive_piecewise():
+    strategy = RandomizedTokenAccount(spend_rate=5, capacity=20)
+    assert strategy.proactive(0) == 0.0
+    assert strategy.proactive(3) == 0.0  # a < A - 1 = 4
+    assert strategy.proactive(4) == 0.0  # (4 - 5 + 1) / 16 = 0
+    assert strategy.proactive(12) == pytest.approx((12 - 4) / 16)
+    assert strategy.proactive(20) == 1.0
+    assert strategy.proactive(25) == 1.0
+
+
+def test_randomized_proactive_linear_segment_endpoints():
+    strategy = RandomizedTokenAccount(spend_rate=10, capacity=20)
+    assert strategy.proactive(9) == 0.0  # a = A - 1
+    assert strategy.proactive(20) == 1.0  # a = C
+    # Midpoint of [9, 20]:
+    assert strategy.proactive(15) == pytest.approx(6 / 11)
+
+
+def test_randomized_reactive_fractional():
+    strategy = RandomizedTokenAccount(spend_rate=10, capacity=20)
+    assert strategy.reactive(5, True) == pytest.approx(0.5)
+    assert strategy.reactive(10, True) == pytest.approx(1.0)
+    assert strategy.reactive(20, True) == pytest.approx(2.0)
+
+
+def test_randomized_useless_messages_cost_nothing():
+    strategy = RandomizedTokenAccount(spend_rate=10, capacity=20)
+    for balance in range(21):
+        assert strategy.reactive(balance, False) == 0.0
+
+
+def test_randomized_a_equals_c():
+    strategy = RandomizedTokenAccount(spend_rate=10, capacity=10)
+    assert strategy.proactive(9) == 0.0
+    assert strategy.proactive(10) == 1.0
+
+
+def test_randomized_parameter_validation():
+    with pytest.raises(ValueError):
+        RandomizedTokenAccount(spend_rate=0, capacity=5)
+    with pytest.raises(ValueError):
+        RandomizedTokenAccount(spend_rate=10, capacity=9)
+
+
+# ----------------------------------------------------------------------
+# Purely reactive reference (§3.1)
+# ----------------------------------------------------------------------
+def test_pure_reactive():
+    strategy = PureReactiveStrategy(fanout=2, useful_only=True)
+    assert strategy.proactive(100) == 0.0
+    assert strategy.reactive(0, True) == 2.0
+    assert strategy.reactive(0, False) == 0.0
+    assert strategy.token_capacity is None
+    assert strategy.requires_overdraft
+
+
+def test_pure_reactive_unconditional_variant():
+    strategy = PureReactiveStrategy(fanout=3, useful_only=False)
+    assert strategy.reactive(0, False) == 3.0
+
+
+def test_pure_reactive_validation():
+    with pytest.raises(ValueError):
+        PureReactiveStrategy(fanout=0)
+
+
+# ----------------------------------------------------------------------
+# Registry and contract validation
+# ----------------------------------------------------------------------
+def test_make_strategy_round_trips():
+    assert make_strategy("proactive").name == "proactive"
+    assert make_strategy("simple", capacity=5).describe() == "simple(C=5)"
+    assert (
+        make_strategy("generalized", spend_rate=2, capacity=8).describe()
+        == "generalized(A=2, C=8)"
+    )
+    assert (
+        make_strategy("randomized", spend_rate=3, capacity=9).describe()
+        == "randomized(A=3, C=9)"
+    )
+    assert make_strategy("reactive", fanout=2).fanout == 2
+
+
+def test_make_strategy_missing_parameters():
+    with pytest.raises(ValueError):
+        make_strategy("simple")
+    with pytest.raises(ValueError):
+        make_strategy("generalized", capacity=5)
+    with pytest.raises(ValueError):
+        make_strategy("randomized", spend_rate=5)
+
+
+def test_make_strategy_unknown_name():
+    with pytest.raises(ValueError, match="unknown strategy"):
+        make_strategy("leaky-bucket")
+
+
+def test_all_implementations_satisfy_the_contract():
+    for strategy in (
+        ProactiveStrategy(),
+        SimpleTokenAccount(0),
+        SimpleTokenAccount(10),
+        GeneralizedTokenAccount(1, 10),
+        GeneralizedTokenAccount(5, 10),
+        GeneralizedTokenAccount(10, 10),
+        RandomizedTokenAccount(1, 2),
+        RandomizedTokenAccount(10, 20),
+        RandomizedTokenAccount(20, 20),
+        PureReactiveStrategy(),
+    ):
+        validate_strategy(strategy)

@@ -1,0 +1,101 @@
+"""Property-based tests (hypothesis) for the §3.1 strategy contract."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rounding import rand_round
+from repro.core.strategies import (
+    GeneralizedTokenAccount,
+    RandomizedTokenAccount,
+    SimpleTokenAccount,
+)
+
+# (A, C) pairs with 1 <= A <= C
+ac_pairs = st.tuples(st.integers(1, 50), st.integers(0, 100)).map(
+    lambda pair: (pair[0], pair[0] + pair[1])
+)
+balances = st.integers(0, 300)
+
+
+@given(ac_pairs, balances)
+def test_generalized_reactive_never_exceeds_balance(ac, balance):
+    a_param, capacity = ac
+    strategy = GeneralizedTokenAccount(a_param, capacity)
+    assert 0 <= strategy.reactive(balance, True) <= balance or balance == 0
+    assert strategy.reactive(balance, False) <= strategy.reactive(balance, True)
+
+
+@given(ac_pairs, balances)
+def test_randomized_reactive_never_exceeds_balance(ac, balance):
+    a_param, capacity = ac
+    strategy = RandomizedTokenAccount(a_param, capacity)
+    assert 0 <= strategy.reactive(balance, True) <= balance or balance == 0
+    assert strategy.reactive(balance, False) == 0.0
+
+
+@given(ac_pairs)
+def test_proactive_monotone_and_bounded(ac):
+    a_param, capacity = ac
+    for strategy in (
+        SimpleTokenAccount(capacity),
+        GeneralizedTokenAccount(a_param, capacity),
+        RandomizedTokenAccount(a_param, capacity),
+    ):
+        previous = -1.0
+        for balance in range(capacity + 5):
+            p = strategy.proactive(balance)
+            assert 0.0 <= p <= 1.0
+            assert p >= previous
+            previous = p
+
+
+@given(ac_pairs)
+def test_declared_capacity_is_minimal(ac):
+    """token_capacity is the smallest C with proactive(C) = 1 (§3.4)."""
+    a_param, capacity = ac
+    for strategy in (
+        SimpleTokenAccount(capacity),
+        GeneralizedTokenAccount(a_param, capacity),
+        RandomizedTokenAccount(a_param, capacity),
+    ):
+        c = strategy.token_capacity
+        assert strategy.proactive(c) == 1.0
+        if c > 0:
+            assert strategy.proactive(c - 1) < 1.0
+
+
+@given(ac_pairs, balances)
+def test_reactive_monotone_in_balance(ac, balance):
+    a_param, capacity = ac
+    for strategy in (
+        GeneralizedTokenAccount(a_param, capacity),
+        RandomizedTokenAccount(a_param, capacity),
+    ):
+        for useful in (True, False):
+            assert strategy.reactive(balance + 1, useful) >= strategy.reactive(
+                balance, useful
+            )
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    st.integers(0, 2**31),
+)
+def test_rand_round_within_one_of_value(value, seed):
+    result = rand_round(value, random.Random(seed))
+    assert isinstance(result, int)
+    assert abs(result - value) < 1.0 or result == value
+
+
+@given(ac_pairs, balances, st.integers(0, 2**31))
+@settings(max_examples=200)
+def test_randomized_rounding_never_overdraws(ac, balance, seed):
+    """randRound(reactive(a, u)) <= a for integer a — the Algorithm 4
+    invariant that keeps guarded accounts non-negative."""
+    a_param, capacity = ac
+    strategy = RandomizedTokenAccount(a_param, capacity)
+    desired = strategy.reactive(balance, True)
+    rounded = rand_round(desired, random.Random(seed))
+    assert rounded <= balance

@@ -1,0 +1,103 @@
+"""Tests for the synthetic STUNner-like trace generator.
+
+These are calibration tests: they assert the generated traces match the
+characteristics the paper publishes about the real trace (Figure 1 and
+§4.1), which is exactly what the substitution promises to preserve.
+"""
+
+import random
+
+import pytest
+
+from repro.churn.stats import online_fraction, trace_summary
+from repro.churn.stunner import (
+    DAY,
+    HOUR,
+    MINUTE,
+    StunnerTraceConfig,
+    generate_stunner_like_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_stunner_like_trace(1500, random.Random(42))
+
+
+def test_never_online_fraction_near_published_30_percent(trace):
+    summary = trace_summary(trace)
+    assert 0.25 <= summary.never_online_fraction <= 0.38
+
+
+def test_two_day_horizon(trace):
+    assert trace.horizon == 2 * DAY
+
+
+def test_minimum_session_length_enforced(trace):
+    for node_id in range(trace.n):
+        for interval in trace.intervals(node_id):
+            assert interval.duration >= MINUTE
+
+
+def test_intervals_disjoint_and_sorted(trace):
+    for node_id in range(trace.n):
+        intervals = trace.intervals(node_id)
+        for earlier, later in zip(intervals, intervals[1:]):
+            assert earlier.end < later.start or earlier.end == later.start
+
+
+def test_diurnal_pattern_night_exceeds_day(trace):
+    """More phones online at night (GMT) than in the afternoon (Fig. 1)."""
+    night_times = [3 * HOUR, 27 * HOUR]  # 03:00 both days
+    day_times = [15 * HOUR, 39 * HOUR]  # 15:00 both days
+    night = sum(online_fraction(trace, night_times)) / 2
+    day = sum(online_fraction(trace, day_times)) / 2
+    assert night > day * 1.3
+
+
+def test_online_fraction_in_plausible_band(trace):
+    """Figure 1 shows roughly 20-45 % of users online at any time."""
+    times = [h * HOUR for h in range(48)]
+    fractions = online_fraction(trace, times)
+    assert 0.10 <= min(fractions)
+    assert max(fractions) <= 0.60
+
+
+def test_deterministic_given_seed():
+    a = generate_stunner_like_trace(200, random.Random(7))
+    b = generate_stunner_like_trace(200, random.Random(7))
+    for node_id in range(200):
+        assert a.intervals(node_id) == b.intervals(node_id)
+
+
+def test_custom_horizon():
+    config = StunnerTraceConfig(horizon=6 * HOUR)
+    trace = generate_stunner_like_trace(300, random.Random(1), config)
+    assert trace.horizon == 6 * HOUR
+    for node_id in range(trace.n):
+        for interval in trace.intervals(node_id):
+            assert interval.end <= 6 * HOUR
+
+
+def test_all_users_offline_possible():
+    config = StunnerTraceConfig(never_online_probability=1.0)
+    trace = generate_stunner_like_trace(50, random.Random(1), config)
+    assert all(not trace.intervals(i) for i in range(50))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        StunnerTraceConfig(never_online_probability=1.5)
+    with pytest.raises(ValueError):
+        StunnerTraceConfig(horizon=-1.0)
+    with pytest.raises(ValueError):
+        StunnerTraceConfig(daytime_duration_min=10.0, daytime_duration_max=5.0)
+
+
+def test_summary_statistics_plausible(trace):
+    summary = trace_summary(trace)
+    # Online users charge ~7h/night plus top-ups; averaged over all users
+    # (incl. 30 % never online) expect roughly 15-40 % online time.
+    assert 0.12 <= summary.mean_online_fraction <= 0.45
+    assert summary.mean_session_length >= 30 * MINUTE
+    assert summary.sessions_per_user >= 1.0

@@ -1,0 +1,91 @@
+"""Tests for the §4.2 parameter sweep harness."""
+
+import pytest
+
+from repro.experiments.scale import ScalePreset
+from repro.experiments.sweep import (
+    PAPER_A_VALUES,
+    PAPER_C_MINUS_A,
+    SweepCell,
+    format_sweep_table,
+    parameter_grid,
+    run_sweep,
+)
+
+MICRO = ScalePreset(
+    name="micro", n=80, n_large=160, periods=30, repeats=1, trace_users=100
+)
+
+
+def test_paper_grid_definition():
+    assert PAPER_A_VALUES == (1, 2, 5, 10, 15, 20, 40)
+    assert PAPER_C_MINUS_A == (0, 1, 2, 5, 10, 15, 20, 40, 80)
+    grid = parameter_grid()
+    assert len(grid) == 7 * 9
+    assert all(a <= c for a, c in grid)
+    assert (1, 1) in grid  # A=1, C-A=0
+    assert (40, 120) in grid  # A=40, C-A=80
+
+
+def test_custom_grid():
+    grid = parameter_grid(a_values=(1, 2), c_minus_a=(0, 3))
+    assert grid == [(1, 1), (1, 4), (2, 2), (2, 5)]
+
+
+def test_run_sweep_micro_scale():
+    cells = run_sweep(
+        "gossip-learning",
+        "randomized",
+        scale=MICRO,
+        a_values=(1, 5),
+        c_minus_a=(0, 5),
+    )
+    assert len(cells) == 4
+    for cell in cells:
+        assert cell.strategy == "randomized"
+        assert cell.final_metric > 0
+        assert cell.message_rate <= 1.05
+
+
+def test_run_sweep_simple_collapses_a_dimension():
+    cells = run_sweep(
+        "push-gossip",
+        "simple",
+        scale=MICRO,
+        a_values=(1, 5),
+        c_minus_a=(0, 5),
+    )
+    # The simple strategy has no A: only the first A value is used.
+    assert len(cells) == 2
+    assert {cell.capacity for cell in cells} == {1, 6}
+
+
+def test_format_sweep_table():
+    cells = [
+        SweepCell("randomized", 1, 1, 0.5, 1.0),
+        SweepCell("randomized", 1, 6, 0.8, 1.0),
+        SweepCell("randomized", 5, 5, 0.3, 1.0),
+    ]
+    table = format_sweep_table(cells, higher_is_better=True)
+    assert "A \\ C" in table
+    assert "*" in table
+    assert "best" in table
+    assert "0.8" in table
+
+
+def test_format_sweep_table_lower_is_better():
+    cells = [
+        SweepCell("generalized", 1, 1, 30.0, 1.0),
+        SweepCell("generalized", 1, 6, 10.0, 1.0),
+    ]
+    table = format_sweep_table(cells, higher_is_better=False)
+    assert "C=6" in table.replace(" ", "").replace("(A=1,", "(A=1,") or "10" in table
+
+
+def test_format_empty_sweep():
+    assert "empty" in format_sweep_table([], higher_is_better=True)
+
+
+def test_sweep_cell_label():
+    cell = SweepCell("randomized", 5, 10, 0.5, 1.0)
+    assert cell.label == "randomized(A=5, C=10)"

@@ -1,0 +1,128 @@
+"""Unit tests for availability traces."""
+
+import pytest
+
+from repro.churn.trace import AvailabilityTrace, Interval, merge_intervals
+
+
+def test_interval_validation():
+    with pytest.raises(ValueError):
+        Interval(-1.0, 5.0)
+    with pytest.raises(ValueError):
+        Interval(5.0, 5.0)
+    with pytest.raises(ValueError):
+        Interval(5.0, 4.0)
+
+
+def test_interval_properties():
+    interval = Interval(2.0, 5.0)
+    assert interval.duration == 3.0
+    assert interval.contains(2.0)
+    assert interval.contains(4.999)
+    assert not interval.contains(5.0)  # half-open
+    assert not interval.contains(1.0)
+
+
+def test_merge_overlapping_intervals():
+    merged = merge_intervals(
+        [Interval(5.0, 8.0), Interval(0.0, 3.0), Interval(2.0, 6.0)]
+    )
+    assert merged == [Interval(0.0, 8.0)]
+
+
+def test_merge_touching_intervals():
+    merged = merge_intervals([Interval(0.0, 3.0), Interval(3.0, 5.0)])
+    assert merged == [Interval(0.0, 5.0)]
+
+
+def test_merge_disjoint_intervals_stay_apart():
+    merged = merge_intervals([Interval(4.0, 5.0), Interval(0.0, 1.0)])
+    assert merged == [Interval(0.0, 1.0), Interval(4.0, 5.0)]
+
+
+def test_trace_is_online():
+    trace = AvailabilityTrace(100.0, [[Interval(10.0, 20.0), Interval(50.0, 60.0)]])
+    assert not trace.is_online(0, 5.0)
+    assert trace.is_online(0, 10.0)
+    assert trace.is_online(0, 19.9)
+    assert not trace.is_online(0, 20.0)
+    assert trace.is_online(0, 55.0)
+    assert not trace.is_online(0, 99.0)
+
+
+def test_trace_rejects_overlap():
+    with pytest.raises(ValueError, match="overlap"):
+        AvailabilityTrace(100.0, [[Interval(0.0, 20.0), Interval(10.0, 30.0)]])
+
+
+def test_trace_rejects_unsorted():
+    with pytest.raises(ValueError, match="overlap|unsorted"):
+        AvailabilityTrace(100.0, [[Interval(50.0, 60.0), Interval(10.0, 20.0)]])
+
+
+def test_trace_rejects_beyond_horizon():
+    with pytest.raises(ValueError, match="horizon"):
+        AvailabilityTrace(100.0, [[Interval(90.0, 150.0)]])
+
+
+def test_ever_online():
+    trace = AvailabilityTrace(100.0, [[Interval(30.0, 40.0)], []])
+    assert trace.ever_online(0)
+    assert not trace.ever_online(1)
+    assert not trace.ever_online(0, until=30.0)
+    assert trace.ever_online(0, until=31.0)
+
+
+def test_online_time():
+    trace = AvailabilityTrace(100.0, [[Interval(0.0, 10.0), Interval(50.0, 55.0)]])
+    assert trace.online_time(0) == 15.0
+
+
+def test_transitions():
+    trace = AvailabilityTrace(100.0, [[Interval(10.0, 20.0), Interval(90.0, 100.0)]])
+    assert trace.transitions(0) == [(10.0, True), (20.0, False), (90.0, True)]
+    # The logout at the horizon itself is not emitted (simulation ends).
+
+
+def test_save_load_roundtrip(tmp_path):
+    trace = AvailabilityTrace(
+        200.0,
+        [
+            [Interval(0.0, 50.0), Interval(100.0, 150.5)],
+            [],
+            [Interval(25.25, 175.75)],
+        ],
+    )
+    path = tmp_path / "trace.txt"
+    trace.save(path)
+    loaded = AvailabilityTrace.load(path)
+    assert loaded.horizon == trace.horizon
+    assert loaded.n == trace.n
+    for node_id in range(trace.n):
+        assert loaded.intervals(node_id) == trace.intervals(node_id)
+
+
+def test_load_rejects_missing_horizon(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("0 1.0:2.0\n")
+    with pytest.raises(ValueError, match="horizon"):
+        AvailabilityTrace.load(path)
+
+
+def test_load_rejects_sparse_ids(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("horizon 100.0\n0 1.0:2.0\n2 3.0:4.0\n")
+    with pytest.raises(ValueError, match="dense"):
+        AvailabilityTrace.load(path)
+
+
+def test_load_rejects_malformed_interval(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("horizon 100.0\n0 1.0-2.0\n")
+    with pytest.raises(ValueError, match="malformed"):
+        AvailabilityTrace.load(path)
+
+
+def test_invalid_horizon_rejected():
+    with pytest.raises(ValueError):
+        AvailabilityTrace(0.0, [])

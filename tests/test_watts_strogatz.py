@@ -1,0 +1,74 @@
+"""Unit tests for the Watts-Strogatz overlay (§4.1.3)."""
+
+import random
+
+import pytest
+
+from repro.overlay.matrix import is_irreducible
+from repro.overlay.watts_strogatz import watts_strogatz_overlay
+
+
+def test_zero_rewiring_gives_exact_ring_lattice():
+    n, k = 20, 4
+    overlay = watts_strogatz_overlay(n, k, 0.0, random.Random(1))
+    for i in range(n):
+        expected = sorted(
+            {(i + off) % n for off in (-2, -1, 1, 2)}
+        )
+        assert sorted(overlay.out_neighbors(i)) == expected
+
+
+def test_edge_count_preserved_by_rewiring():
+    n, k = 100, 4
+    for p in (0.0, 0.01, 0.5, 1.0):
+        overlay = watts_strogatz_overlay(n, k, p, random.Random(3))
+        # Undirected edge count n*k/2, stored as n*k directed links.
+        assert overlay.num_edges == n * k
+
+
+def test_overlay_is_symmetric():
+    overlay = watts_strogatz_overlay(80, 4, 0.1, random.Random(5))
+    assert overlay.is_symmetric()
+
+
+def test_rewiring_actually_rewires():
+    n, k = 200, 4
+    ring = watts_strogatz_overlay(n, k, 0.0, random.Random(1))
+    rewired = watts_strogatz_overlay(n, k, 1.0, random.Random(1))
+    ring_edges = set(ring.edges())
+    rewired_edges = set(rewired.edges())
+    # With p = 1 the overwhelming majority of ring links must be gone.
+    assert len(ring_edges & rewired_edges) < len(ring_edges) / 2
+
+
+def test_small_rewiring_changes_few_links():
+    n, k = 500, 4
+    ring = set(watts_strogatz_overlay(n, k, 0.0, random.Random(2)).edges())
+    nearly_ring = set(watts_strogatz_overlay(n, k, 0.01, random.Random(2)).edges())
+    changed = len(ring - nearly_ring)
+    # p = 0.01 over n*k/2 = 1000 undirected links: expect ~10 rewired
+    # (20 directed), allow generous slack.
+    assert 0 < changed < 120
+
+
+def test_paper_topology_is_strongly_connected():
+    overlay = watts_strogatz_overlay(500, 4, 0.01, random.Random(4))
+    assert is_irreducible(overlay)
+
+
+def test_deterministic_given_seed():
+    a = watts_strogatz_overlay(50, 4, 0.2, random.Random(9))
+    b = watts_strogatz_overlay(50, 4, 0.2, random.Random(9))
+    assert list(a.edges()) == list(b.edges())
+
+
+def test_invalid_parameters_rejected():
+    rng = random.Random(1)
+    with pytest.raises(ValueError):
+        watts_strogatz_overlay(10, 3, 0.1, rng)  # odd k
+    with pytest.raises(ValueError):
+        watts_strogatz_overlay(10, 0, 0.1, rng)
+    with pytest.raises(ValueError):
+        watts_strogatz_overlay(4, 4, 0.1, rng)  # n <= k
+    with pytest.raises(ValueError):
+        watts_strogatz_overlay(10, 4, 1.5, rng)  # bad probability
