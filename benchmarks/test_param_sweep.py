@@ -12,7 +12,6 @@ gossip learning, among the worst in push gossip; A=10/C=20 and A=5/C=10
 are robust everywhere.
 """
 
-from benchmarks.conftest import print_figure
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_experiment
 from repro.experiments.sweep import format_sweep_table, run_sweep

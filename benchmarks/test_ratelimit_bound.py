@@ -7,7 +7,7 @@ failure-free and the churn scenario, and prints the observed worst-case
 bursts against the bound.
 """
 
-from repro.core.ratelimit import RateLimitAuditor, burst_bound
+from repro.core.ratelimit import burst_bound
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import Experiment
 

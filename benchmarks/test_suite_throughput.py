@@ -1,0 +1,118 @@
+"""Suite-orchestration throughput: events/sec, cells/sec, and speedup.
+
+This bench runs the thinned §4.2 sweep grid twice — serially and through
+the :class:`~repro.experiments.suite.SuiteRunner` process pool — and
+records the measured engine throughput (events per wall-clock second),
+cell throughput, and the parallel-over-serial wall-clock speedup into
+``BENCH_suite.json``. The artifact is uploaded by CI so the performance
+trajectory is tracked from PR to PR.
+
+The ≥2x speedup assertion only arms when ``REPRO_BENCH_STRICT=1`` is
+set (the dedicated CI bench-smoke job sets it) *and* the machine has at
+least four CPU cores (the acceptance target is a 4-core runner).
+Elsewhere — including the tier-1 test matrix, where shared-runner noise
+would make a hard wall-clock assertion flaky — the numbers are still
+measured and recorded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.experiments.scale import worker_count
+from repro.experiments.suite import SuiteRunner
+from repro.experiments.sweep import sweep_suite
+
+#: where the bench artifact lands (repo root by default; CI uploads it)
+ARTIFACT = Path(os.environ.get("REPRO_BENCH_DIR", ".")) / "BENCH_suite.json"
+
+#: cores needed before the speedup assertion arms
+SPEEDUP_ASSERT_CORES = 4
+SPEEDUP_TARGET = 2.0
+
+
+def _bench_suite(scale):
+    suite, _ = sweep_suite("gossip-learning", "randomized", scale=scale)
+    return suite
+
+
+def test_suite_throughput_artifact(benchmark, scale):
+    suite = _bench_suite(scale)
+    cores = os.cpu_count() or 1
+    parallel_workers = worker_count()  # REPRO_WORKERS, else the CPU count
+
+    serial = SuiteRunner(workers=1).run(suite)
+    parallel = benchmark.pedantic(
+        lambda: SuiteRunner(workers=parallel_workers).run(suite),
+        rounds=1,
+        iterations=1,
+    )
+
+    speedup = (
+        serial.wall_seconds / parallel.wall_seconds if parallel.wall_seconds else 0.0
+    )
+    document = {
+        "format": "repro-bench-suite-v1",
+        "suite": suite.name,
+        "cells": len(suite),
+        "scale": scale.label,
+        "cores": cores,
+        "serial": {
+            "workers": serial.workers,
+            "wall_seconds": serial.wall_seconds,
+            "events_per_second": serial.events_per_second,
+            "cells_per_second": serial.cells_per_second,
+            "total_events": serial.total_events,
+        },
+        "parallel": {
+            "workers": parallel.workers,
+            "wall_seconds": parallel.wall_seconds,
+            "events_per_second": parallel.events_per_second,
+            "cells_per_second": parallel.cells_per_second,
+            "total_events": parallel.total_events,
+            "parallel_efficiency": parallel.parallel_efficiency,
+            "serial_fallback_reason": parallel.serial_fallback_reason,
+        },
+        "speedup_wall_clock": speedup,
+        "virtual_seconds": serial.virtual_seconds,
+        "virtual_over_wall_serial": (
+            serial.virtual_seconds / serial.wall_seconds
+            if serial.wall_seconds
+            else 0.0
+        ),
+    }
+    ARTIFACT.write_text(json.dumps(document, indent=2), encoding="utf-8")
+
+    print(f"\nsuite throughput ({len(suite)} cells, {cores} cores):")
+    print(
+        f"  serial:   {serial.wall_seconds:7.2f}s  "
+        f"{serial.events_per_second:12,.0f} events/s  "
+        f"{serial.cells_per_second:6.2f} cells/s"
+    )
+    print(
+        f"  parallel: {parallel.wall_seconds:7.2f}s  "
+        f"{parallel.events_per_second:12,.0f} events/s  "
+        f"{parallel.cells_per_second:6.2f} cells/s  "
+        f"({parallel.workers} workers)"
+    )
+    print(f"  wall-clock speedup: {speedup:.2f}x  (artifact: {ARTIFACT})")
+
+    # Determinism must survive parallel execution regardless of speedup.
+    serial_finals = [r.metric.final() for r in serial.results()]
+    parallel_finals = [r.metric.final() for r in parallel.results()]
+    assert serial_finals == parallel_finals
+
+    assert serial.total_events > 0
+    assert serial.events_per_second > 0
+    strict = os.environ.get("REPRO_BENCH_STRICT") == "1"
+    if (
+        strict
+        and cores >= SPEEDUP_ASSERT_CORES
+        and parallel.workers >= SPEEDUP_ASSERT_CORES
+    ):
+        assert speedup >= SPEEDUP_TARGET, (
+            f"expected >= {SPEEDUP_TARGET}x wall-clock speedup on {cores} cores, "
+            f"measured {speedup:.2f}x"
+        )

@@ -36,7 +36,6 @@ bound.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.core.api import Application

@@ -5,6 +5,8 @@ Gives shell access to the main library entry points:
 * ``run`` — run one configured experiment and print the metric series;
 * ``figure`` — regenerate a paper figure (1–5) at a chosen scale;
 * ``sweep`` — the §4.2 parameter-space exploration;
+* ``suite`` — the full multi-strategy sweep as one parallel suite with
+  per-cell progress/ETA and a JSON artifact;
 * ``trace`` — generate a synthetic STUNner-like availability trace to a
   file and print its Figure-1 statistics.
 
@@ -14,7 +16,11 @@ Examples::
         --nodes 500 --periods 200
     python -m repro figure 2 --app gossip-learning --scale ci
     python -m repro sweep --app push-gossip --strategy generalized
+    python -m repro suite --app gossip-learning --workers 8 --save suite.json
     python -m repro trace --users 2000 --out trace.txt
+
+Parallelism is controlled per-command with ``--workers`` or globally
+with the ``REPRO_WORKERS`` environment variable (default: CPU count).
 """
 
 from __future__ import annotations
@@ -120,9 +126,15 @@ def _command_figure(args: argparse.Namespace) -> int:
             print("--app is required for figures 2-4", file=sys.stderr)
             return 2
         builder = {2: figures.figure2, 3: figures.figure3, 4: figures.figure4}[number]
-        data = builder(args.app, scale=scale, seed=args.seed, quick=args.quick)
+        data = builder(
+            args.app,
+            scale=scale,
+            seed=args.seed,
+            quick=args.quick,
+            workers=args.workers,
+        )
     elif number == 5:
-        data = figures.figure5(scale=scale, seed=args.seed)
+        data = figures.figure5(scale=scale, seed=args.seed, workers=args.workers)
     else:
         print(f"unknown figure {number}; the paper has figures 1-5", file=sys.stderr)
         return 2
@@ -159,13 +171,84 @@ def _command_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.sweep import format_sweep_table, run_sweep
 
     scale = _resolve_scale(args.scale)
-    cells = run_sweep(args.app, args.strategy, scale=scale, seed=args.seed)
+    cells = run_sweep(
+        args.app, args.strategy, scale=scale, seed=args.seed, workers=args.workers
+    )
     higher_is_better = args.app == "gossip-learning"
     print(
         f"{args.app} / {args.strategy} over the (A, C) grid "
         f"({'higher' if higher_is_better else 'lower'} is better):"
     )
     print(format_sweep_table(cells, higher_is_better=higher_is_better))
+    return 0
+
+
+def _command_suite(args: argparse.Namespace) -> int:
+    from repro.experiments.suite import (
+        ExperimentSuite,
+        SuiteRunner,
+        print_progress,
+        worker_count,
+    )
+    from repro.experiments.sweep import (
+        cells_from_results,
+        format_sweep_table,
+        sweep_suite,
+    )
+
+    scale = _resolve_scale(args.scale)
+    strategies = args.strategies or ["simple", "generalized", "randomized"]
+    # Dedupe while preserving order: a repeated strategy would re-run its
+    # cells and corrupt the per-strategy result slices below.
+    strategies = list(dict.fromkeys(strategies))
+    parts = []
+    coordinate_map = {}
+    offset = 0
+    all_configs = []
+    for strategy in strategies:
+        suite, coordinates = sweep_suite(
+            args.app, strategy, scale=scale, seed=args.seed, scenario=args.scenario
+        )
+        all_configs.extend(suite.configs)
+        coordinate_map[strategy] = (offset, coordinates)
+        offset += len(coordinates)
+        parts.append(f"{strategy}({len(coordinates)})")
+    bundle = ExperimentSuite.from_configs(
+        f"suite-{args.app}",
+        all_configs,
+        description=f"{args.app} / {args.scenario}: " + " + ".join(parts),
+    )
+    workers = worker_count(args.workers)
+    print(
+        f"suite {bundle.name}: {len(bundle)} cells "
+        f"[{', '.join(parts)}] at scale {scale.name} with {workers} worker(s)"
+    )
+    runner = SuiteRunner(
+        workers=workers, progress=print_progress if not args.quiet else None
+    )
+    suite_result = runner.run(bundle)
+    if suite_result.serial_fallback_reason is not None:
+        print(
+            f"note: fell back to serial execution "
+            f"({suite_result.serial_fallback_reason}); "
+            f"process pools need fork support"
+        )
+    higher_is_better = args.app == "gossip-learning"
+    for strategy in strategies:
+        start, coordinates = coordinate_map[strategy]
+        results = [
+            cell.result
+            for cell in suite_result.cells[start : start + len(coordinates)]
+        ]
+        cells = cells_from_results(strategy, coordinates, results)
+        print(f"\n{args.app} / {strategy}:")
+        print(format_sweep_table(cells, higher_is_better=higher_is_better))
+    print(f"\n{suite_result.summary()}")
+    if args.save:
+        from repro.experiments.export import save_suite
+
+        save_suite(suite_result, args.save)
+        print(f"saved to {args.save}")
     return 0
 
 
@@ -209,6 +292,9 @@ def build_parser() -> argparse.ArgumentParser:
                                help="log-scale the chart's value axis")
     figure_parser.add_argument("--save", type=str, default=None, metavar="FILE",
                                help="write the figure data to FILE (.json/.csv)")
+    figure_parser.add_argument("--workers", type=int, default=None,
+                               help="worker processes (default: REPRO_WORKERS "
+                                    "or the CPU count)")
     figure_parser.set_defaults(handler=_command_figure)
 
     sweep_parser = commands.add_parser("sweep", help="§4.2 parameter sweep")
@@ -219,7 +305,36 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--scale", choices=("ci", "medium", "paper"),
                               default=None)
     sweep_parser.add_argument("--seed", type=int, default=1)
+    sweep_parser.add_argument("--workers", type=int, default=None,
+                              help="worker processes (default: REPRO_WORKERS "
+                                   "or the CPU count)")
     sweep_parser.set_defaults(handler=_command_sweep)
+
+    suite_parser = commands.add_parser(
+        "suite",
+        help="run the multi-strategy (A, C) exploration as one parallel suite",
+    )
+    suite_parser.add_argument("--app", required=True, choices=APPLICATIONS)
+    suite_parser.add_argument(
+        "--strategies",
+        nargs="+",
+        choices=("simple", "generalized", "randomized"),
+        default=None,
+        help="strategies to include (default: all three)",
+    )
+    suite_parser.add_argument("--scenario", choices=("failure-free", "trace"),
+                              default="failure-free")
+    suite_parser.add_argument("--scale", choices=("ci", "medium", "paper"),
+                              default=None)
+    suite_parser.add_argument("--seed", type=int, default=1)
+    suite_parser.add_argument("--workers", type=int, default=None,
+                              help="worker processes (default: REPRO_WORKERS "
+                                   "or the CPU count)")
+    suite_parser.add_argument("--quiet", action="store_true",
+                              help="suppress per-cell progress/ETA lines")
+    suite_parser.add_argument("--save", type=str, default=None, metavar="FILE",
+                              help="write the suite result document to FILE (.json)")
+    suite_parser.set_defaults(handler=_command_suite)
 
     trace_parser = commands.add_parser(
         "trace", help="generate a synthetic smartphone trace"
@@ -237,7 +352,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except ValueError as error:
+        # Bad knob values (--workers 0, REPRO_WORKERS=junk, REPRO_SCALE=junk)
+        # should read as usage errors, not tracebacks.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -28,7 +28,7 @@ counts in Figure 5 follow.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import List, Optional
 
 from repro.core.strategies import RandomizedTokenAccount, Strategy
 

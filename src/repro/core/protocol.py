@@ -44,7 +44,6 @@ Fidelity notes
 from __future__ import annotations
 
 import random
-from typing import Optional
 
 from repro.core.account import TokenAccount
 from repro.core.api import Application
@@ -82,6 +81,24 @@ class TokenAccountNode(SimNode):
     online:
         Initial availability.
     """
+
+    # One instance per simulated node — at N = 500,000 the per-instance
+    # dict is the dominant memory cost, so the class is slotted.
+    __slots__ = (
+        "sim",
+        "network",
+        "peer_sampler",
+        "strategy",
+        "app",
+        "rng",
+        "account",
+        "process",
+        "proactive_sends",
+        "reactive_sends",
+        "skipped_no_peer",
+        "messages_received",
+        "useful_received",
+    )
 
     def __init__(
         self,
@@ -141,18 +158,19 @@ class TokenAccountNode(SimNode):
     def _on_tick(self) -> None:
         if not self.online:
             return  # offline nodes neither bank nor spend tokens
-        if self.rng.random() < self.strategy.proactive(self.account.balance):
+        account = self.account
+        if self.rng.random() < self.strategy.proactive(account.balance):
             peer = self.peer_sampler.select_peer(self.node_id)
             if peer is None:
                 # No online neighbor: the send is impossible; bank the
                 # round's token instead (clamped at capacity C).
                 self.skipped_no_peer += 1
-                self.account.grant()
+                account.grant()
                 return
             self.network.send(self.node_id, peer, self.app.create_message(), DATA)
             self.proactive_sends += 1
         else:
-            self.account.grant()
+            account.grant()
 
     # ------------------------------------------------------------------
     # Algorithm 4: ONMESSAGE

@@ -33,7 +33,6 @@ Each strategy also exposes ``continuous_proactive`` / ``continuous_reactive``
 
 from __future__ import annotations
 
-import math
 from abc import ABC, abstractmethod
 from typing import Optional
 

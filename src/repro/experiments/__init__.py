@@ -5,6 +5,9 @@
 * :mod:`repro.experiments.runner` — builds a configured simulation
   (overlay, nodes, churn, injectors, collectors) and runs it to the
   horizon, returning time series and accounting.
+* :mod:`repro.experiments.suite` — declarative experiment suites and the
+  parallel :class:`~repro.experiments.suite.SuiteRunner` that fans their
+  cells across worker processes (``REPRO_WORKERS``).
 * :mod:`repro.experiments.scale` — CI / medium / paper scale presets
   selected via the ``REPRO_SCALE`` environment variable.
 * :mod:`repro.experiments.figures` — the per-figure harnesses (Figures
@@ -15,15 +18,42 @@
 """
 
 from repro.experiments.config import PAPER, ExperimentConfig
-from repro.experiments.runner import Experiment, ExperimentResult, run_experiment
-from repro.experiments.scale import ScalePreset, current_scale
+from repro.experiments.runner import (
+    Experiment,
+    ExperimentResult,
+    average_results,
+    replicate_seeds,
+    run_averaged,
+    run_experiment,
+)
+from repro.experiments.scale import ScalePreset, current_scale, worker_count
+from repro.experiments.suite import (
+    CellResult,
+    ExperimentSuite,
+    SuiteExecutionError,
+    SuiteResult,
+    SuiteRunner,
+    run_configs,
+    run_suite,
+)
 
 __all__ = [
+    "CellResult",
     "Experiment",
     "ExperimentConfig",
     "ExperimentResult",
+    "ExperimentSuite",
     "PAPER",
     "ScalePreset",
+    "SuiteExecutionError",
+    "SuiteResult",
+    "SuiteRunner",
+    "average_results",
     "current_scale",
+    "replicate_seeds",
+    "run_averaged",
+    "run_configs",
     "run_experiment",
+    "run_suite",
+    "worker_count",
 ]

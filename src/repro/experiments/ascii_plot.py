@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import math
 import string
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.metrics.series import TimeSeries
 

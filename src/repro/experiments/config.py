@@ -12,7 +12,7 @@ update injection per 17.28 s for push gossip, zero initial tokens.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.core.strategies import Strategy, make_strategy

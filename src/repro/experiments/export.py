@@ -26,6 +26,7 @@ from typing import Dict, Union
 
 from repro.experiments.figures import FigureData
 from repro.experiments.runner import ExperimentResult
+from repro.experiments.suite import SuiteResult
 from repro.metrics.series import TimeSeries
 
 PathLike = Union[str, Path]
@@ -131,6 +132,54 @@ def save_figure(data: FigureData, path: PathLike) -> None:
         path.write_text(json.dumps(figure_to_dict(data), indent=2), encoding="utf-8")
     else:
         _write_series_csv(path, data.series)
+
+
+# ----------------------------------------------------------------------
+# Suite results
+# ----------------------------------------------------------------------
+def suite_to_dict(result: SuiteResult) -> dict:
+    """A JSON-serializable view of a parallel suite run.
+
+    Cells carrying :class:`ExperimentResult` payloads are embedded as
+    full result documents; custom task payloads degrade to ``repr``.
+    """
+    cells = []
+    for cell in result.cells:
+        if isinstance(cell.result, ExperimentResult):
+            payload = result_to_dict(cell.result)
+        else:
+            payload = {"repr": repr(cell.result)}
+        cells.append(
+            {
+                "index": cell.index,
+                "label": cell.config.label(),
+                "seed": cell.config.seed,
+                "wall_seconds": cell.wall_seconds,
+                "events_processed": cell.events_processed,
+                "result": payload,
+            }
+        )
+    return {
+        "format": "repro-suite-v1",
+        "name": result.suite_name,
+        "workers": result.workers,
+        "serial_fallback_reason": result.serial_fallback_reason,
+        "wall_seconds": result.wall_seconds,
+        "total_cell_seconds": result.total_cell_seconds,
+        "virtual_seconds": result.virtual_seconds,
+        "total_events": result.total_events,
+        "events_per_second": result.events_per_second,
+        "cells_per_second": result.cells_per_second,
+        "parallel_efficiency": result.parallel_efficiency,
+        "cells": cells,
+    }
+
+
+def save_suite(result: SuiteResult, path: PathLike) -> None:
+    """Write a suite result document as JSON."""
+    Path(path).write_text(
+        json.dumps(suite_to_dict(result), indent=2), encoding="utf-8"
+    )
 
 
 # ----------------------------------------------------------------------

@@ -29,8 +29,9 @@ from repro.churn.stunner import StunnerTraceConfig, generate_stunner_like_trace
 from repro.core.meanfield import MeanFieldModel, randomized_equilibrium
 from repro.core.strategies import RandomizedTokenAccount
 from repro.experiments.config import PAPER, ExperimentConfig
-from repro.experiments.runner import run_averaged
+from repro.experiments.runner import average_results
 from repro.experiments.scale import ScalePreset, current_scale
+from repro.experiments.suite import ExperimentSuite, run_suite
 from repro.metrics.series import TimeSeries
 from repro.metrics.smoothing import window_average
 from repro.sim.randomness import RandomStreams
@@ -92,33 +93,48 @@ def _run_selection(
     selection: Sequence[Tuple[str, Optional[int], Optional[int]]],
     seed: int,
     smooth: Optional[float] = None,
+    workers: Optional[int] = None,
 ) -> tuple[Dict[str, TimeSeries], Dict[str, float]]:
-    """Run one app/scenario over a parameter selection."""
-    series: Dict[str, TimeSeries] = {}
-    rates: Dict[str, float] = {}
+    """Run one app/scenario over a parameter selection.
+
+    The (selection x repeats) fan executes as one parallel suite; the
+    repetition groups are averaged exactly like the serial
+    :func:`~repro.experiments.runner.run_averaged` path (same seeds, same
+    pointwise merge), so results do not depend on the worker count.
+    """
     if app == "chaotic-iteration":
         # Chaotic iteration is by far the noisiest application (single
         # runs wobble around the mean curve); always average at least
         # two seeds, like the paper's 10-run averages.
         repeats = max(2, repeats)
-    for strategy, a, c in selection:
-        config = ExperimentConfig(
-            app=app,
-            strategy=strategy,
-            spend_rate=a,
-            capacity=c,
-            n=n,
-            periods=periods,
-            scenario=scenario,
-            seed=seed,
-        )
-        result = run_averaged(config, repeats)
+    suite = ExperimentSuite.from_configs(
+        f"selection-{app}-{scenario}",
+        [
+            ExperimentConfig(
+                app=app,
+                strategy=strategy,
+                spend_rate=a,
+                capacity=c,
+                n=n,
+                periods=periods,
+                scenario=scenario,
+                seed=seed,
+            )
+            for strategy, a, c in selection
+        ],
+        description=f"{app} / {scenario}: {len(selection)} curves x {repeats} seeds",
+    ).repeated(repeats)
+    results = run_suite(suite, workers=workers).results()
+    series: Dict[str, TimeSeries] = {}
+    rates: Dict[str, float] = {}
+    for group, (strategy, a, c) in enumerate(selection):
+        merged = average_results(results[group * repeats : (group + 1) * repeats])
         label = _selection_label(strategy, a, c)
-        curve = result.metric
+        curve = merged.metric
         if smooth is not None:
             curve = window_average(curve, smooth)
         series[label] = curve
-        rates[label] = result.messages_per_node_per_period
+        rates[label] = merged.messages_per_node_per_period
     return series, rates
 
 
@@ -165,7 +181,11 @@ def figure1(scale: Optional[ScalePreset] = None, seed: int = 1) -> FigureData:
 # Figure 2 — failure-free scenario, three applications
 # ----------------------------------------------------------------------
 def figure2(
-    app: str, scale: Optional[ScalePreset] = None, seed: int = 1, quick: bool = False
+    app: str,
+    scale: Optional[ScalePreset] = None,
+    seed: int = 1,
+    quick: bool = False,
+    workers: Optional[int] = None,
 ) -> FigureData:
     """Figure 2: token account strategies, failure-free, N = 5,000.
 
@@ -184,6 +204,7 @@ def figure2(
         selection,
         seed,
         smooth=smooth,
+        workers=workers,
     )
     return FigureData(
         name=f"figure2-{app}",
@@ -198,7 +219,11 @@ def figure2(
 # Figure 3 — smartphone trace scenario
 # ----------------------------------------------------------------------
 def figure3(
-    app: str, scale: Optional[ScalePreset] = None, seed: int = 1, quick: bool = False
+    app: str,
+    scale: Optional[ScalePreset] = None,
+    seed: int = 1,
+    quick: bool = False,
+    workers: Optional[int] = None,
 ) -> FigureData:
     """Figure 3: strategies over the smartphone trace (gossip learning and
     push gossip only; chaotic iteration is undefined under churn)."""
@@ -216,6 +241,7 @@ def figure3(
         selection,
         seed,
         smooth=smooth,
+        workers=workers,
     )
     return FigureData(
         name=f"figure3-{app}",
@@ -230,7 +256,11 @@ def figure3(
 # Figure 4 — large-scale failure-free scenario
 # ----------------------------------------------------------------------
 def figure4(
-    app: str, scale: Optional[ScalePreset] = None, seed: int = 1, quick: bool = False
+    app: str,
+    scale: Optional[ScalePreset] = None,
+    seed: int = 1,
+    quick: bool = False,
+    workers: Optional[int] = None,
 ) -> FigureData:
     """Figure 4: scalability run at the large network size.
 
@@ -257,6 +287,7 @@ def figure4(
         augmented,
         seed,
         smooth=smooth,
+        workers=workers,
     )
     return FigureData(
         name=f"figure4-{app}",
@@ -274,6 +305,7 @@ def figure5(
     scale: Optional[ScalePreset] = None,
     seed: int = 1,
     settings: Sequence[Tuple[int, int]] = ((1, 2), (5, 10), (10, 20), (20, 40)),
+    workers: Optional[int] = None,
 ) -> FigureData:
     """Figure 5: average token count (gossip learning, randomized strategy).
 
@@ -282,30 +314,39 @@ def figure5(
     closed-form equilibria and the integrated mean-field trajectories.
     """
     scale = scale or current_scale()
+    repeats = scale.repeats
+    suite = ExperimentSuite.from_configs(
+        "figure5-token-balance",
+        [
+            ExperimentConfig(
+                app="gossip-learning",
+                strategy="randomized",
+                spend_rate=spend_rate,
+                capacity=capacity,
+                n=scale.n,
+                periods=scale.periods,
+                scenario="failure-free",
+                seed=seed,
+                collect_tokens=True,
+            )
+            for spend_rate, capacity in settings
+        ],
+        description=f"token balance fan: {len(settings)} settings x {repeats} seeds",
+    ).repeated(repeats)
+    results = run_suite(suite, workers=workers).results()
     series: Dict[str, TimeSeries] = {}
     predictions: Dict[str, float] = {}
     trajectories: Dict[str, object] = {}
-    for spend_rate, capacity in settings:
-        config = ExperimentConfig(
-            app="gossip-learning",
-            strategy="randomized",
-            spend_rate=spend_rate,
-            capacity=capacity,
-            n=scale.n,
-            periods=scale.periods,
-            scenario="failure-free",
-            seed=seed,
-            collect_tokens=True,
-        )
-        result = run_averaged(config, scale.repeats)
+    for group, (spend_rate, capacity) in enumerate(settings):
+        result = average_results(results[group * repeats : (group + 1) * repeats])
         label = f"A={spend_rate} C={capacity}"
         assert result.tokens is not None
         series[label] = result.tokens
         predictions[label] = randomized_equilibrium(spend_rate, capacity)
         model = MeanFieldModel(
-            RandomizedTokenAccount(spend_rate, capacity), config.period
+            RandomizedTokenAccount(spend_rate, capacity), result.config.period
         )
-        trajectories[label] = model.integrate(config.horizon)
+        trajectories[label] = model.integrate(result.config.horizon)
     return FigureData(
         name="figure5",
         description=(

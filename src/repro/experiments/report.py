@@ -8,7 +8,7 @@ derived headline numbers (speedup over the purely proactive baseline).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.metrics.series import TimeSeries
 

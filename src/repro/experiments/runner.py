@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import time as _wallclock
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.apps.chaotic_iteration import ChaoticIterationMetric, build_chaotic_apps
 from repro.apps.gossip_learning import GossipLearningApp, GossipLearningMetric
@@ -81,6 +81,8 @@ class ExperimentResult:
     surviving_walks: Optional[int] = None
     #: wall-clock seconds the run took
     elapsed: float = 0.0
+    #: engine events processed (throughput accounting: events / elapsed)
+    events_processed: int = 0
 
     def summary(self) -> str:
         """One-line human-readable digest."""
@@ -304,12 +306,32 @@ class Experiment:
             ratelimit_violations=violations,
             surviving_walks=surviving,
             elapsed=elapsed,
+            events_processed=self.sim.processed,
         )
 
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     """Build and run one experiment (the main library entry point)."""
     return Experiment(config).run()
+
+
+def replicate_seeds(
+    config: ExperimentConfig, repeats: int, seed_offset: int = 1000
+) -> List[ExperimentConfig]:
+    """The ``repeats`` seed variants behind an averaged run.
+
+    Every repetition is the same configuration under an independent root
+    seed (``seed + i * seed_offset``). Exposed separately from
+    :func:`run_averaged` so that a suite can fan the repetitions out to
+    worker processes and average afterwards with
+    :func:`average_results`.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    return [
+        config.with_overrides(seed=config.seed + i * seed_offset)
+        for i in range(repeats)
+    ]
 
 
 def run_averaged(
@@ -320,12 +342,16 @@ def run_averaged(
     Series are averaged pointwise; all runs share the sampling grid, so
     this matches the paper's "the average of these runs is shown".
     """
-    if repeats < 1:
-        raise ValueError(f"repeats must be >= 1, got {repeats}")
-    results = [
-        run_experiment(config.with_overrides(seed=config.seed + i * seed_offset))
-        for i in range(repeats)
-    ]
+    return average_results(
+        [run_experiment(c) for c in replicate_seeds(config, repeats, seed_offset)]
+    )
+
+
+def average_results(results: List[ExperimentResult]) -> ExperimentResult:
+    """Merge independent repetitions of one configuration (see §4.2)."""
+    if not results:
+        raise ValueError("no results to average")
+    repeats = len(results)
     if repeats == 1:
         return results[0]
     base = results[0]
@@ -349,6 +375,7 @@ def run_averaged(
         ratelimit_violations=[v for r in results for v in r.ratelimit_violations],
         surviving_walks=base.surviving_walks,
         elapsed=sum(r.elapsed for r in results),
+        events_processed=sum(r.events_processed for r in results),
     )
 
 

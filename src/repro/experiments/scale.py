@@ -10,6 +10,10 @@ the paper's numbers::
     REPRO_SCALE=medium  # tens of minutes; tighter to the paper's curves
     REPRO_SCALE=paper   # the published N / periods / repetitions
 
+A second knob, ``REPRO_WORKERS``, sets how many worker processes the
+suite orchestrator (:mod:`repro.experiments.suite`) fans cells across;
+it defaults to the machine's CPU count.
+
 Every scaled-down dimension preserves the phenomena the figures
 demonstrate (see DESIGN.md, substitutions 4 and 5): the crossovers happen
 within the first quarter of the simulated window and at network sizes two
@@ -22,6 +26,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -74,3 +79,27 @@ def current_scale() -> ScalePreset:
     except KeyError:
         valid = ", ".join(sorted(_PRESETS))
         raise ValueError(f"REPRO_SCALE={name!r}; expected one of: {valid}") from None
+
+
+def worker_count(override: Optional[int] = None) -> int:
+    """Resolve the suite worker count (see ``repro.experiments.suite``).
+
+    Precedence: explicit ``override`` > the ``REPRO_WORKERS`` environment
+    variable > ``os.cpu_count()``. Always at least 1. Lives here with the
+    other environment knob (``REPRO_SCALE``) so that one module defines
+    how the process environment shapes a run.
+    """
+    if override is not None:
+        if override < 1:
+            raise ValueError(f"worker count must be >= 1, got {override}")
+        return override
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(f"REPRO_WORKERS={raw!r} is not an integer") from None
+        if value < 1:
+            raise ValueError(f"REPRO_WORKERS must be >= 1, got {value}")
+        return value
+    return os.cpu_count() or 1

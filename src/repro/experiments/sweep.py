@@ -8,6 +8,11 @@ A = 1, 2, 5, 10, 15, 20, 40 and C − A = 0, 1, 2, 5, 10, 15, 20, 40, 80
 a figure-of-merit for every cell so that the bench can print the sweep
 table the paper's exploration is based on. At CI scale a thinned grid is
 used (the full grid is 63 cells × three strategies).
+
+Cells are independent simulations, so :func:`run_sweep` builds an
+:class:`~repro.experiments.suite.ExperimentSuite` and fans them across
+worker processes (``REPRO_WORKERS`` / ``workers=``); results are
+identical to the serial loop for any worker count.
 """
 
 from __future__ import annotations
@@ -16,8 +21,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_experiment
 from repro.experiments.scale import ScalePreset, current_scale
+from repro.experiments.suite import ExperimentSuite, run_suite
 
 #: the paper's grid (§4.2)
 PAPER_A_VALUES: Tuple[int, ...] = (1, 2, 5, 10, 15, 20, 40)
@@ -57,6 +62,51 @@ class SweepCell:
         return f"{self.strategy}(A={self.spend_rate}, C={self.capacity})"
 
 
+def sweep_suite(
+    app: str,
+    strategy: str,
+    scale: Optional[ScalePreset] = None,
+    seed: int = 1,
+    a_values: Optional[Sequence[int]] = None,
+    c_minus_a: Optional[Sequence[int]] = None,
+    scenario: str = "failure-free",
+) -> Tuple[ExperimentSuite, List[Tuple[int, int]]]:
+    """The declarative suite behind :func:`run_sweep`.
+
+    Returns the suite plus the (A, C) coordinates of each cell, in cell
+    order, so callers can map results back to grid positions.
+    """
+    scale = scale or current_scale()
+    if a_values is None:
+        a_values = PAPER_A_VALUES if scale.name == "paper" else QUICK_A_VALUES
+    if c_minus_a is None:
+        c_minus_a = PAPER_C_MINUS_A if scale.name == "paper" else QUICK_C_MINUS_A
+    coordinates: List[Tuple[int, int]] = []
+    configs: List[ExperimentConfig] = []
+    for spend_rate, capacity in parameter_grid(a_values, c_minus_a):
+        if strategy == "simple" and spend_rate != a_values[0]:
+            continue  # the simple strategy has no A parameter
+        coordinates.append((spend_rate, capacity))
+        configs.append(
+            ExperimentConfig(
+                app=app,
+                strategy=strategy,
+                spend_rate=None if strategy == "simple" else spend_rate,
+                capacity=capacity,
+                n=scale.n,
+                periods=scale.periods,
+                scenario=scenario,
+                seed=seed,
+            )
+        )
+    suite = ExperimentSuite.from_configs(
+        f"sweep-{app}-{strategy}",
+        configs,
+        description=f"§4.2 (A, C) exploration: {app} / {strategy} / {scenario}",
+    )
+    return suite, coordinates
+
+
 def run_sweep(
     app: str,
     strategy: str,
@@ -65,43 +115,44 @@ def run_sweep(
     a_values: Optional[Sequence[int]] = None,
     c_minus_a: Optional[Sequence[int]] = None,
     scenario: str = "failure-free",
+    workers: Optional[int] = None,
 ) -> List[SweepCell]:
     """Evaluate one strategy over the (A, C) grid for one application.
 
     The figure of merit is the final value of the application's metric
     (relative speed for gossip learning — higher is better; lag for push
-    gossip and angle for chaotic iteration — lower is better).
+    gossip and angle for chaotic iteration — lower is better). Cells run
+    in parallel (``workers`` / ``REPRO_WORKERS``); the returned list is
+    in grid order regardless of worker scheduling.
     """
-    scale = scale or current_scale()
-    if a_values is None:
-        a_values = PAPER_A_VALUES if scale.name == "paper" else QUICK_A_VALUES
-    if c_minus_a is None:
-        c_minus_a = PAPER_C_MINUS_A if scale.name == "paper" else QUICK_C_MINUS_A
-    cells: List[SweepCell] = []
-    for spend_rate, capacity in parameter_grid(a_values, c_minus_a):
-        if strategy == "simple" and spend_rate != a_values[0]:
-            continue  # the simple strategy has no A parameter
-        config = ExperimentConfig(
-            app=app,
+    suite, coordinates = sweep_suite(
+        app, strategy, scale, seed, a_values, c_minus_a, scenario
+    )
+    results = run_suite(suite, workers=workers).results()
+    return cells_from_results(strategy, coordinates, results)
+
+
+def cells_from_results(
+    strategy: str,
+    coordinates: Sequence[Tuple[int, int]],
+    results: Sequence,
+) -> List[SweepCell]:
+    """Zip grid coordinates with experiment results into sweep cells.
+
+    The single place that defines the sweep's figure of merit (the final
+    metric value) — shared by :func:`run_sweep` and the CLI's ``suite``
+    command so both always report the same numbers for the same grid.
+    """
+    return [
+        SweepCell(
             strategy=strategy,
-            spend_rate=None if strategy == "simple" else spend_rate,
+            spend_rate=spend_rate,
             capacity=capacity,
-            n=scale.n,
-            periods=scale.periods,
-            scenario=scenario,
-            seed=seed,
+            final_metric=result.metric.final(),
+            message_rate=result.messages_per_node_per_period,
         )
-        result = run_experiment(config)
-        cells.append(
-            SweepCell(
-                strategy=strategy,
-                spend_rate=spend_rate,
-                capacity=capacity,
-                final_metric=result.metric.final(),
-                message_rate=result.messages_per_node_per_period,
-            )
-        )
-    return cells
+        for (spend_rate, capacity), result in zip(coordinates, results)
+    ]
 
 
 def format_sweep_table(cells: Sequence[SweepCell], higher_is_better: bool) -> str:

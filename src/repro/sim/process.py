@@ -31,6 +31,11 @@ from repro.sim.events import EventHandle
 class PeriodicProcess:
     """A callback invoked every ``period`` virtual seconds.
 
+    Simulations allocate one of these per node, and each reschedules an
+    event every round — so the class is slotted and re-arms one reusable
+    :class:`EventHandle` via :meth:`Simulator.reschedule` instead of
+    allocating a fresh handle per tick.
+
     Parameters
     ----------
     sim:
@@ -45,6 +50,17 @@ class PeriodicProcess:
     rng:
         Source for the random phase (required when ``phase is None``).
     """
+
+    __slots__ = (
+        "_sim",
+        "period",
+        "phase",
+        "_callback",
+        "_next_k",
+        "_handle",
+        "ticks_fired",
+        "_running",
+    )
 
     def __init__(
         self,
@@ -108,7 +124,14 @@ class PeriodicProcess:
 
     # ------------------------------------------------------------------
     def _schedule_next(self) -> None:
-        self._handle = self._sim.schedule_at(self.next_tick_time(), self._fire)
+        handle = self._handle
+        if handle is None or handle.cancelled:
+            # First tick after construction or a stop(): a cancelled
+            # handle dropped its callback reference, start fresh.
+            self._handle = self._sim.schedule_at(self.next_tick_time(), self._fire)
+        else:
+            # Steady state: the handle just fired, re-arm it in place.
+            self._sim.reschedule(handle, self.next_tick_time())
 
     def _fire(self) -> None:
         if not self._running:

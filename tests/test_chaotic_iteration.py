@@ -12,7 +12,7 @@ from repro.apps.chaotic_iteration import (
     build_chaotic_apps,
 )
 from repro.core.strategies import ProactiveStrategy, RandomizedTokenAccount
-from repro.overlay.matrix import column_normalized_matrix, dominant_eigenvector
+from repro.overlay.matrix import column_normalized_matrix
 from repro.overlay.watts_strogatz import watts_strogatz_overlay
 from tests.conftest import MiniSystem
 

@@ -175,3 +175,46 @@ def test_ties_broken_by_scheduling_order_across_times(sim):
     sim.schedule(0.5, lambda: sim.schedule_at(1.0, fired.append, 3))
     sim.run()
     assert fired == [1, 2, 3]
+
+
+def test_pending_counts_cancelled_but_live_pending_does_not(sim):
+    """Regression: ``pending`` is documented as an upper bound that
+    includes lazily-cancelled events; ``live_pending`` is exact."""
+    handles = [sim.schedule(float(t), lambda: None) for t in range(1, 5)]
+    handles[0].cancel()
+    handles[2].cancel()
+    assert sim.pending == 4
+    assert sim.live_pending == 2
+    assert sim.run() == 2
+    assert sim.pending == 0
+    assert sim.live_pending == 0
+
+
+def test_reschedule_reuses_handle(sim):
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "tick")
+    sim.run()
+    assert fired == ["tick"]
+    rearmed = sim.reschedule(handle, 2.0)
+    assert rearmed is handle
+    assert not handle.cancelled
+    sim.run()
+    assert fired == ["tick", "tick"]
+
+
+def test_reschedule_in_past_raises(sim):
+    handle = sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.reschedule(handle, 0.5)
+
+
+def test_reschedule_keeps_fifo_ties_with_fresh_events(sim):
+    fired = []
+    recycled = sim.schedule(1.0, fired.append, "old")
+    sim.run()
+    fired.clear()
+    sim.reschedule(recycled, 5.0)
+    sim.schedule_at(5.0, fired.append, "new")
+    sim.run()
+    assert fired == ["old", "new"]

@@ -14,8 +14,6 @@ import random
 import pytest
 
 from repro.core.strategies import (
-    ProactiveStrategy,
-    PureReactiveStrategy,
     SimpleTokenAccount,
 )
 from repro.experiments.config import ExperimentConfig

@@ -8,7 +8,6 @@ from repro.experiments.figures import (
     figure1,
 )
 from repro.experiments.scale import ScalePreset
-from repro.metrics.series import TimeSeries
 
 
 def test_selection_labels():

@@ -12,7 +12,6 @@ from repro.apps.gossip_learning import (
 )
 from repro.apps.sgd import make_synthetic_regression
 from repro.core.strategies import ProactiveStrategy, SimpleTokenAccount
-from repro.sim.network import Message
 from tests.conftest import MiniSystem, ring_overlay
 
 

@@ -11,7 +11,6 @@ from repro.core.strategies import (
     GeneralizedTokenAccount,
     ProactiveStrategy,
     RandomizedTokenAccount,
-    SimpleTokenAccount,
 )
 
 

@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicProcess
 
 

@@ -1,7 +1,5 @@
 """Tests for the push-pull gossip extension (§2.3)."""
 
-import pytest
-
 from repro.apps.push_gossip import PushPullGossipApp
 from repro.core.strategies import SimpleTokenAccount
 from repro.experiments.config import ExperimentConfig

@@ -1,7 +1,5 @@
 """Tests for the TimeSeries container."""
 
-import math
-
 import pytest
 
 from repro.metrics.series import TimeSeries

@@ -1,7 +1,5 @@
 """Tests for the §4.2 parameter sweep harness."""
 
-import pytest
-
 from repro.experiments.scale import ScalePreset
 from repro.experiments.sweep import (
     PAPER_A_VALUES,
