@@ -26,14 +26,14 @@ def test_usefulness_ablation(benchmark, scale):
     budget is half the useful one rather than zero."""
 
     def run_pair():
-        shared = dict(
-            app="push-gossip", n=scale.n, periods=scale.periods, seed=1
-        )
+        shared = dict(app="push-gossip", n=scale.n, periods=scale.periods, seed=1)
         frugal = run_experiment(
             ExperimentConfig(strategy="randomized", spend_rate=5, capacity=10, **shared)
         )
         spender = run_experiment(
-            ExperimentConfig(strategy="generalized", spend_rate=5, capacity=10, **shared)
+            ExperimentConfig(
+                strategy="generalized", spend_rate=5, capacity=10, **shared
+            )
         )
         return frugal, spender
 
@@ -105,10 +105,7 @@ def test_pull_on_rejoin_ablation(benchmark, scale):
         f"\nsteady lag under churn: with pull = {steady_lag(with_pull):.2f}, "
         f"without pull = {steady_lag(without_pull):.2f}"
     )
-    print(
-        f"pull requests sent: "
-        f"{with_pull.network.by_kind.get('pull-request', 0)}"
-    )
+    print(f"pull requests sent: {with_pull.network.by_kind.get('pull-request', 0)}")
     assert with_pull.network.by_kind.get("pull-request", 0) > 0
     # The pull mechanism must not hurt; in churny scenarios it helps the
     # rejoin transient (documented, not strictly ordered at small scale).
@@ -129,12 +126,8 @@ def test_large_capacity_gap_warning(benchmark, scale):
             periods=scale.periods,
             seed=1,
         )
-        balanced = run_experiment(
-            ExperimentConfig(spend_rate=5, capacity=10, **shared)
-        )
-        gappy = run_experiment(
-            ExperimentConfig(spend_rate=1, capacity=81, **shared)
-        )
+        balanced = run_experiment(ExperimentConfig(spend_rate=5, capacity=10, **shared))
+        gappy = run_experiment(ExperimentConfig(spend_rate=1, capacity=81, **shared))
         return balanced, gappy
 
     balanced, gappy = benchmark.pedantic(run_pair, rounds=1, iterations=1)

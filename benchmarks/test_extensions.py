@@ -29,9 +29,7 @@ def test_graded_usefulness_extension(benchmark, scale):
         )
         binary = run_experiment(ExperimentConfig(strategy="randomized", **shared))
         graded = run_experiment(
-            ExperimentConfig(
-                strategy="graded-randomized", grading_scale=5.0, **shared
-            )
+            ExperimentConfig(strategy="graded-randomized", grading_scale=5.0, **shared)
         )
         return binary, graded
 
@@ -61,9 +59,7 @@ def test_push_pull_extension(benchmark, scale):
             seed=1,
         )
         push = run_experiment(ExperimentConfig(app="push-gossip", **shared))
-        push_pull = run_experiment(
-            ExperimentConfig(app="push-pull-gossip", **shared)
-        )
+        push_pull = run_experiment(ExperimentConfig(app="push-pull-gossip", **shared))
         return push, push_pull
 
     push, push_pull = benchmark.pedantic(run_pair, rounds=1, iterations=1)

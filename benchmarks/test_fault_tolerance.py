@@ -41,9 +41,7 @@ def test_fault_tolerance_sweep(benchmark, scale):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    print(
-        "\nmessage rate (msgs/node/Δ) and gossip learning metric under loss:"
-    )
+    print("\nmessage rate (msgs/node/Δ) and gossip learning metric under loss:")
     print(
         f"{'loss':>6} | {'reactive rate':>13} {'metric':>8} | "
         f"{'simple rate':>11} {'metric':>8} | {'proactive rate':>14} {'metric':>8}"

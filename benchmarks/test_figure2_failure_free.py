@@ -69,9 +69,7 @@ def test_figure2_chaotic_iteration(benchmark, scale, quick):
     speedups = time_to_threshold_speedups(data.series)
     print()
     print(
-        format_speedups(
-            speedups, "time-to-baseline-accuracy speedup vs proactive"
-        )
+        format_speedups(speedups, "time-to-baseline-accuracy speedup vs proactive")
     )
 
     finals = {label: series.final() for label, series in data.series.items()}

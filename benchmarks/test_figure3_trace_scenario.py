@@ -14,7 +14,11 @@ improvements ... with the same overall communication cost."
 
 from benchmarks.conftest import print_figure
 from repro.experiments.figures import figure3
-from repro.experiments.report import final_value_speedups, format_speedups, steady_state_lag_ratios
+from repro.experiments.report import (
+    final_value_speedups,
+    format_speedups,
+    steady_state_lag_ratios,
+)
 
 
 def test_figure3_gossip_learning(benchmark, scale, quick):

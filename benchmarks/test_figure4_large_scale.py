@@ -63,10 +63,14 @@ def test_figure4_a1_crossover_trend(benchmark, scale):
     def relative_performance(n):
         shared = dict(app="gossip-learning", periods=scale.periods, seed=1, n=n)
         aggressive = run_experiment(
-            ExperimentConfig(strategy="generalized", spend_rate=1, capacity=10, **shared)
+            ExperimentConfig(
+                strategy="generalized", spend_rate=1, capacity=10, **shared
+            )
         )
         robust = run_experiment(
-            ExperimentConfig(strategy="randomized", spend_rate=10, capacity=20, **shared)
+            ExperimentConfig(
+                strategy="randomized", spend_rate=10, capacity=20, **shared
+            )
         )
         return aggressive.metric.final() / robust.metric.final()
 

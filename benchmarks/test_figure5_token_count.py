@@ -9,7 +9,11 @@ import pytest
 
 from benchmarks.conftest import print_figure
 from repro.core.discrete_balance import stationary_mean_balance
-from repro.core.meanfield import MeanFieldModel, randomized_equilibrium, solve_equilibrium
+from repro.core.meanfield import (
+    MeanFieldModel,
+    randomized_equilibrium,
+    solve_equilibrium,
+)
 from repro.core.strategies import RandomizedTokenAccount
 from repro.experiments.figures import figure5
 
@@ -30,12 +34,8 @@ def test_figure5_average_tokens(benchmark, scale):
         tail = series.tail(series.times[-1] * 0.6)
         simulated = tail.mean()
         predicted = predictions[label]
-        spend_rate, capacity = (
-            int(part.split("=")[1]) for part in label.split()
-        )
-        markov = stationary_mean_balance(
-            RandomizedTokenAccount(spend_rate, capacity)
-        )
+        spend_rate, capacity = (int(part.split("=")[1]) for part in label.split())
+        markov = stationary_mean_balance(RandomizedTokenAccount(spend_rate, capacity))
         print(
             f"  {label:12s} simulated={simulated:7.3f}  "
             f"meanfield={predicted:7.3f}  markov={markov:7.3f}"

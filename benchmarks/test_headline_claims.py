@@ -60,14 +60,12 @@ def test_headline_hot_potato_speed(benchmark, scale):
     baseline is pinned near transfer_time/Δ = 0.01."""
 
     def run_three():
-        shared = dict(
-            app="gossip-learning", n=scale.n, periods=scale.periods, seed=1
-        )
-        reactive = run_experiment(
-            ExperimentConfig(strategy="reactive", **shared)
-        )
+        shared = dict(app="gossip-learning", n=scale.n, periods=scale.periods, seed=1)
+        reactive = run_experiment(ExperimentConfig(strategy="reactive", **shared))
         randomized = run_experiment(
-            ExperimentConfig(strategy="randomized", spend_rate=10, capacity=20, **shared)
+            ExperimentConfig(
+                strategy="randomized", spend_rate=10, capacity=20, **shared
+            )
         )
         proactive = run_experiment(ExperimentConfig(strategy="proactive", **shared))
         return reactive, randomized, proactive
@@ -82,7 +80,8 @@ def test_headline_hot_potato_speed(benchmark, scale):
         f"  proactive baseline:                      {proactive.metric.final():.3f}"
     )
     print(
-        f"\nmessage rate (msgs/node/period): reactive={reactive.messages_per_node_per_period:.2f}, "
+        "\nmessage rate (msgs/node/period): "
+        f"reactive={reactive.messages_per_node_per_period:.2f}, "
         f"randomized={randomized.messages_per_node_per_period:.2f}, "
         f"proactive={proactive.messages_per_node_per_period:.2f}"
     )

@@ -107,6 +107,7 @@ def test_reactive_reference_has_no_bound(benchmark, scale):
     )
     print(
         f"\nflooding (k=2): worst sends in one Δ window = {worst} "
-        f"(a C=10 token account caps this at {burst_bound(config.period, config.period, 10)})"
+        "(a C=10 token account caps this at "
+        f"{burst_bound(config.period, config.period, 10)})"
     )
     assert worst > burst_bound(config.period, config.period, 10)

@@ -75,9 +75,7 @@ def test_repair_after_failure_burst(benchmark, scale):
     by_label = {}
     for label, peak, recovery, rate, final in rows:
         recovery_text = f"{recovery:.1f} Δ" if recovery is not None else "never"
-        print(
-            f"{label:22s} {peak:7.3f} {recovery_text:>10s} {rate:12.3f} {final:9.3f}"
-        )
+        print(f"{label:22s} {peak:7.3f} {recovery_text:>10s} {rate:12.3f} {final:9.3f}")
         by_label[label] = (peak, recovery, rate, final)
 
     # Token account strategies: full repair, within the proactive budget,

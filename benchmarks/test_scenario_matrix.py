@@ -1,0 +1,147 @@
+"""Scenario-matrix smoke bench: run a registry cross-product, record throughput.
+
+The matrix is *derived from the registries*: every registered
+application is crossed with every scenario preset its plugin supports
+(failure-free, trace, flash-crowd), plus the network-axis combinations
+the legacy harness could not express (lossy small-world push gossip,
+jittered heterogeneous-period gossip learning). The cells run as one
+parallel suite and the per-scenario engine throughput (events/sec) lands
+in ``BENCH_scenarios.json``, which CI uploads next to ``BENCH_suite.json``
+so the scenario matrix is both smoke-tested and performance-tracked
+from PR to PR.
+
+Cell sizes are a fraction of the ``REPRO_SCALE`` preset — this is a
+breadth bench (does every combination assemble, run and stay
+deterministic?), not a depth bench.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.experiments.scale import worker_count
+from repro.experiments.suite import ExperimentSuite, SuiteRunner
+from repro.registry import applications
+from repro.scenarios import (
+    SCENARIO_PRESETS,
+    ComponentRef,
+    NetworkSpec,
+    ScenarioSpec,
+)
+
+#: where the bench artifact lands (repo root by default; CI uploads it)
+ARTIFACT = Path(os.environ.get("REPRO_BENCH_DIR", ".")) / "BENCH_scenarios.json"
+
+
+def _matrix_specs(scale) -> list:
+    """The registry cross-product at smoke size, plus network-axis extras."""
+    n = max(60, scale.n // 4)
+    periods = max(20, scale.periods // 4)
+    base = dict(n=n, periods=periods, seed=1)
+    strategy = ComponentRef.of("randomized", spend_rate=5, capacity=10)
+    specs = []
+    for registration in applications:
+        for preset in SCENARIO_PRESETS.values():
+            if preset.churn.name != "none" and not registration.factory.supports_churn:
+                continue
+            specs.append(
+                ScenarioSpec(
+                    app=ComponentRef.of(registration.name),
+                    strategy=strategy,
+                    churn=preset.churn,
+                    **base,
+                )
+            )
+    # Network-axis combinations beyond the preset cross-product.
+    specs.append(
+        ScenarioSpec(
+            app=ComponentRef.of("push-gossip"),
+            strategy=strategy,
+            overlay=ComponentRef.of("watts-strogatz"),
+            network=NetworkSpec(loss_rate=0.10),
+            **base,
+        )
+    )
+    specs.append(
+        ScenarioSpec(
+            app=ComponentRef.of("gossip-learning"),
+            strategy=strategy,
+            network=NetworkSpec(transfer_jitter=0.3),
+            period_spread=0.2,
+            **base,
+        )
+    )
+    return specs
+
+
+def test_scenario_matrix_smoke_artifact(benchmark, scale):
+    specs = _matrix_specs(scale)
+    suite = ExperimentSuite.from_configs(
+        "scenario-matrix",
+        specs,
+        description="registry cross-product smoke matrix",
+    )
+    runner = SuiteRunner(workers=worker_count())
+    result = benchmark.pedantic(lambda: runner.run(suite), rounds=1, iterations=1)
+
+    cells = []
+    for cell in result.cells:
+        payload = cell.result
+        cells.append(
+            {
+                "label": payload.label,
+                "app": cell.config.app.name,
+                "overlay": cell.config.resolved_overlay().name,
+                "churn": cell.config.churn.name,
+                "loss_rate": cell.config.network.loss_rate,
+                "transfer_jitter": cell.config.network.transfer_jitter,
+                "period_spread": cell.config.period_spread,
+                "events_processed": payload.events_processed,
+                "wall_seconds": cell.wall_seconds,
+                "events_per_second": (
+                    payload.events_processed / cell.wall_seconds
+                    if cell.wall_seconds
+                    else 0.0
+                ),
+                "final_metric": (
+                    payload.metric.final() if not payload.metric.empty else None
+                ),
+                "messages_per_node_per_period": payload.messages_per_node_per_period,
+            }
+        )
+    document = {
+        "format": "repro-bench-scenarios-v1",
+        "scale": scale.label,
+        "workers": result.workers,
+        "cells": cells,
+        "total_events": result.total_events,
+        "wall_seconds": result.wall_seconds,
+        "events_per_second": result.events_per_second,
+        "cells_per_second": result.cells_per_second,
+    }
+    ARTIFACT.write_text(json.dumps(document, indent=2), encoding="utf-8")
+
+    print(f"\nscenario matrix ({len(suite)} cells, {result.workers} workers):")
+    for cell in cells:
+        print(f"  {cell['label']:<55} {cell['events_per_second']:>12,.0f} events/s")
+    print(f"  total: {result.summary()}  (artifact: {ARTIFACT})")
+
+    # Every cell ran to the horizon and produced a metric series.
+    assert len(cells) == len(specs)
+    assert all(cell["events_processed"] > 0 for cell in cells)
+    assert result.total_events > 0
+
+    # Determinism across the matrix: a serial re-run of a sample of the
+    # opened combinations reproduces the pooled results bit-for-bit.
+    sample = [index for index, spec in enumerate(specs) if spec.churn.name != "none"]
+    sample = sample[:3]
+    rerun = SuiteRunner(workers=1).run(
+        ExperimentSuite.from_configs(
+            "scenario-matrix-recheck", [specs[i] for i in sample]
+        )
+    )
+    for recheck, index in zip(rerun.cells, sample):
+        original = result.cells[index].result
+        assert recheck.result.metric.values == original.metric.values

@@ -47,9 +47,7 @@ def main() -> None:
         f"chaotic power iteration on a Watts-Strogatz overlay "
         f"(N={N}, ring degree 4, rewire p=0.01)"
     )
-    print(
-        f"angle to the true dominant eigenvector, averaged over {REPEATS} runs\n"
-    )
+    print(f"angle to the true dominant eigenvector, averaged over {REPEATS} runs\n")
     results = {}
     for label, strategy, a, c in (
         ("proactive", "proactive", None, None),

@@ -92,7 +92,10 @@ def main() -> None:
         ("randomized token account (A=10, C=20)", "randomized", 10, 20),
     ):
         print(label)
-        print(f"  {'hours':>6s} {'walk speed (eq.6)':>18s} {'best age':>9s} {'best MSE':>9s}")
+        print(
+            f"  {'hours':>6s} {'walk speed (eq.6)':>18s} "
+            f"{'best age':>9s} {'best MSE':>9s}"
+        )
         for horizon, speed, age, mse in build_and_run(strategy, a, c, examples):
             print(f"  {horizon / 3600:6.1f} {speed:18.3f} {age:9d} {mse:9.4f}")
         print()

@@ -61,9 +61,7 @@ def main() -> None:
     print(header)
     print("-" * len(header))
     for label, result in results:
-        cells = [
-            f"{result.metric.value_at(r * 172.8):7.3f}" for r in sample_rounds
-        ]
+        cells = [f"{result.metric.value_at(r * 172.8):7.3f}" for r in sample_rounds]
         print(label.ljust(38) + "".join(cells))
 
     print("\nbudget and outcome:")

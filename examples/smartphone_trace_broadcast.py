@@ -58,7 +58,10 @@ def run(strategy, spend_rate=None, capacity=None):
 def main() -> None:
     print_trace_preview()
     print(f"push gossip under churn ({N} nodes, {PERIODS} rounds, 10 updates/round)")
-    print(f"{'strategy':40s} {'steady lag':>11s} {'msgs/node/round':>16s} {'pulls':>7s}")
+    print(
+        f"{'strategy':40s} {'steady lag':>11s} "
+        f"{'msgs/node/round':>16s} {'pulls':>7s}"
+    )
     print("-" * 78)
     for label, strategy, a, c in (
         ("proactive baseline", "proactive", None, None),

@@ -52,12 +52,21 @@ from repro.core import (
     randomized_equilibrium,
 )
 from repro.experiments import ExperimentConfig, run_experiment
+from repro.registry import applications, churn_models, overlays, strategies
+from repro.scenarios import ComponentRef, NetworkSpec, ScenarioSpec
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Application",
+    "ComponentRef",
     "ExperimentConfig",
+    "NetworkSpec",
+    "ScenarioSpec",
+    "applications",
+    "churn_models",
+    "overlays",
+    "strategies",
     "GeneralizedTokenAccount",
     "MeanFieldModel",
     "ProactiveStrategy",

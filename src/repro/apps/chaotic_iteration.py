@@ -33,7 +33,12 @@ from repro.core.api import Application
 from repro.core.grading import saturating_grade
 from repro.core.protocol import TokenAccountNode
 from repro.overlay.graph import Overlay
-from repro.overlay.matrix import angle_to, column_normalized_matrix, dominant_eigenvector
+from repro.overlay.matrix import (
+    angle_to,
+    column_normalized_matrix,
+    dominant_eigenvector,
+)
+from repro.registry import ApplicationPlugin, BuildContext, ParamSpec, applications
 
 
 class ChaoticIterationApp(Application):
@@ -64,17 +69,13 @@ class ChaoticIterationApp(Application):
         if any(weight <= 0 for weight in in_weights.values()):
             raise ValueError("all in-link weights must be positive")
         self.in_weights = dict(in_weights)
-        self.buffers: Dict[int, float] = {
-            k: initial_buffer for k in self.in_weights
-        }
+        self.buffers: Dict[int, float] = {k: initial_buffer for k in self.in_weights}
         self.x = self._recompute()
         self.updates_applied = 0
         self.stale_messages = 0
 
     def _recompute(self) -> float:
-        return sum(
-            weight * self.buffers[k] for k, weight in self.in_weights.items()
-        )
+        return sum(weight * self.buffers[k] for k, weight in self.in_weights.items())
 
     # ------------------------------------------------------------------
     # The paper's two methods
@@ -86,9 +87,7 @@ class ChaoticIterationApp(Application):
         if sender not in self.in_weights:
             # A message routed over a link that the weight matrix does not
             # know about would corrupt the fixed point; treat as a bug.
-            raise ValueError(
-                f"received weight from non-in-neighbor {sender}"
-            )
+            raise ValueError(f"received weight from non-in-neighbor {sender}")
         self.buffers[sender] = payload
         new_x = self._recompute()
         useful = new_x != self.x
@@ -118,9 +117,7 @@ def build_chaotic_apps(
     """
     apps = []
     for i in range(overlay.n):
-        weights = {
-            k: 1.0 / overlay.out_degree(k) for k in overlay.in_neighbors(i)
-        }
+        weights = {k: 1.0 / overlay.out_degree(k) for k in overlay.in_neighbors(i)}
         apps.append(
             ChaoticIterationApp(
                 weights,
@@ -165,3 +162,61 @@ class ChaoticIterationMetric:
 
     def __call__(self, now: float) -> float:
         return angle_to(self.current_vector(), self.reference)
+
+
+@applications.register(
+    "chaotic-iteration",
+    summary=(
+        "Lubachevsky–Mitra chaotic power iteration (§2.4); "
+        "angle-to-eigenvector metric"
+    ),
+    params=(
+        ParamSpec(
+            "initial_buffer",
+            "float",
+            default=1.0,
+            help="initial buffered value (Algorithm 3: any positive value)",
+        ),
+        ParamSpec(
+            "grading_scale",
+            "float",
+            default=None,
+            help="graded usefulness saturation (None = boolean usefulness)",
+        ),
+    ),
+)
+class ChaoticIterationPlugin(ApplicationPlugin):
+    """Registry assembly hooks for chaotic power iteration.
+
+    The paper's evaluation excludes this application from the churn
+    scenario ("it is not possible to define convergence for this
+    application" under churn, §4.2) — the *figures* keep that exclusion.
+    The scenario matrix does not: under churn the metric simply measures
+    the angle of the full (online + frozen offline) vector, which is a
+    well-defined stress test of how traffic shaping copes when parts of
+    the iteration stall.
+    """
+
+    name = "chaotic-iteration"
+    default_overlay = "watts-strogatz"
+    supports_churn = True
+
+    def __init__(
+        self,
+        initial_buffer: float = 1.0,
+        grading_scale: Optional[float] = None,
+    ):
+        self.initial_buffer = initial_buffer
+        self.grading_scale = grading_scale
+
+    def build_apps(self, ctx: BuildContext) -> List[ChaoticIterationApp]:
+        return build_chaotic_apps(
+            ctx.overlay,
+            initial_buffer=self.initial_buffer,
+            grading_scale=self.grading_scale,
+        )
+
+    def build_metric(
+        self, ctx: BuildContext, nodes, workload
+    ) -> ChaoticIterationMetric:
+        return ChaoticIterationMetric(nodes, overlay=ctx.overlay)

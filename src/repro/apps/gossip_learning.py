@@ -35,6 +35,7 @@ from repro.apps.sgd import Example, LinearRegressionModel
 from repro.core.api import Application
 from repro.core.grading import saturating_grade
 from repro.core.protocol import TokenAccountNode
+from repro.registry import ApplicationPlugin, BuildContext, ParamSpec, applications
 
 
 @dataclass(frozen=True)
@@ -154,17 +155,54 @@ class GossipLearningMetric:
         if now <= 0:
             return None
         ideal_age = now / self.transfer_time
-        ages = [node.app.age for node in self.nodes if node.online]  # type: ignore[attr-defined]
+        ages = [
+            node.app.age for node in self.nodes if node.online  # type: ignore[attr-defined]
+        ]
         if not ages:
             return None
         return sum(ages) / (len(ages) * ideal_age)
 
     def surviving_lineages(self) -> int:
         """Number of distinct walks still held by online nodes (§4.2)."""
-        return len(
-            {
-                node.app.lineage  # type: ignore[attr-defined]
-                for node in self.nodes
-                if node.online and node.app.lineage is not None  # type: ignore[attr-defined]
-            }
-        )
+        lineages = {
+            node.app.lineage  # type: ignore[attr-defined]
+            for node in self.nodes
+            if node.online
+        }
+        lineages.discard(None)
+        return len(lineages)
+
+
+@applications.register(
+    "gossip-learning",
+    summary="random-walk model gossip aged by SGD steps (§2.2); metric eq. (6)",
+    params=(
+        ParamSpec(
+            "grading_scale",
+            "float",
+            default=None,
+            help="graded usefulness saturation (None = boolean usefulness)",
+        ),
+    ),
+)
+class GossipLearningPlugin(ApplicationPlugin):
+    """Registry assembly hooks for gossip learning."""
+
+    name = "gossip-learning"
+    default_overlay = "kout"
+    supports_churn = True
+
+    def __init__(self, grading_scale: Optional[float] = None):
+        self.grading_scale = grading_scale
+
+    def build_apps(self, ctx: BuildContext) -> list:
+        return [
+            GossipLearningApp(grading_scale=self.grading_scale)
+            for _ in range(ctx.spec.n)
+        ]
+
+    def build_metric(self, ctx: BuildContext, nodes, workload) -> GossipLearningMetric:
+        return GossipLearningMetric(nodes, ctx.spec.network.transfer_time)
+
+    def result_extras(self, ctx: BuildContext, metric) -> dict:
+        return {"surviving_walks": metric.surviving_lineages()}

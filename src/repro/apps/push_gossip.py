@@ -31,6 +31,8 @@ from typing import Optional, Sequence
 from repro.core.api import Application
 from repro.core.grading import saturating_grade
 from repro.core.protocol import DATA, TokenAccountNode
+from repro.registry import ApplicationPlugin, BuildContext, ParamSpec, applications
+from repro.scenarios import PAPER
 from repro.sim.engine import Simulator
 from repro.sim.network import Message
 from repro.sim.process import PeriodicProcess
@@ -257,3 +259,94 @@ class PushGossipMetric:
         if not lags:
             return None
         return sum(lags) / len(lags)
+
+
+#: shared parameter schema of the push gossip variants
+_PUSH_PARAMS = (
+    ParamSpec(
+        "pull_on_rejoin",
+        "bool",
+        default=True,
+        help="§4.1.2 pull request when a node comes back online",
+    ),
+    ParamSpec(
+        "inject_interval",
+        "float",
+        default=PAPER.inject_interval,
+        help="seconds between update injections (paper: 17.28)",
+    ),
+    ParamSpec(
+        "reactive_injection",
+        "bool",
+        default=False,
+        help="route injections through the reactive path (ablation)",
+    ),
+    ParamSpec(
+        "grading_scale",
+        "float",
+        default=None,
+        help="graded usefulness saturation (None = boolean usefulness)",
+    ),
+)
+
+
+@applications.register(
+    "push-gossip",
+    summary="freshest-update broadcast with continuous injection (§2.3); eq. (7)",
+    params=_PUSH_PARAMS,
+)
+class PushGossipPlugin(ApplicationPlugin):
+    """Registry assembly hooks for push gossip."""
+
+    name = "push-gossip"
+    default_overlay = "kout"
+    supports_churn = True
+    app_class = PushGossipApp
+
+    def __init__(
+        self,
+        pull_on_rejoin: bool = True,
+        inject_interval: float = PAPER.inject_interval,
+        reactive_injection: bool = False,
+        grading_scale: Optional[float] = None,
+    ):
+        if inject_interval <= 0:
+            raise ValueError(f"inject_interval must be positive, got {inject_interval}")
+        self.pull_on_rejoin = pull_on_rejoin
+        self.inject_interval = inject_interval
+        self.reactive_injection = reactive_injection
+        self.grading_scale = grading_scale
+
+    def build_apps(self, ctx: BuildContext) -> list:
+        return [
+            self.app_class(
+                pull_on_rejoin=self.pull_on_rejoin,
+                grading_scale=self.grading_scale,
+            )
+            for _ in range(ctx.spec.n)
+        ]
+
+    def build_workload(self, ctx: BuildContext, nodes) -> UpdateInjector:
+        return UpdateInjector(
+            ctx.sim,
+            nodes,
+            self.inject_interval,
+            ctx.streams.stream("injector"),
+            reactive_injection=self.reactive_injection,
+        )
+
+    def build_metric(self, ctx: BuildContext, nodes, workload) -> PushGossipMetric:
+        assert workload is not None
+        return PushGossipMetric(nodes, workload)
+
+
+@applications.register(
+    "push-pull-gossip",
+    summary="push gossip plus token-priced pull replies to stale pushes (§2.3)",
+    params=_PUSH_PARAMS,
+)
+class PushPullGossipPlugin(PushGossipPlugin):
+    """Registry assembly hooks for the push-pull variant."""
+
+    name = "push-pull-gossip"
+    app_class = PushPullGossipApp

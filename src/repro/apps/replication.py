@@ -40,6 +40,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.core.api import Application
 from repro.core.protocol import TokenAccountNode
+from repro.registry import ApplicationPlugin, BuildContext, ParamSpec, applications
 from repro.sim.engine import Simulator
 
 #: payload: (object id, believed holder ids)
@@ -212,8 +213,7 @@ class FailureDetector:
     of the replica cannot detect its loss).
     """
 
-    def __init__(self, sim: Simulator, nodes: Sequence[TokenAccountNode],
-                 delay: float):
+    def __init__(self, sim: Simulator, nodes: Sequence[TokenAccountNode], delay: float):
         if delay < 0:
             raise ValueError(f"detection delay must be >= 0, got {delay}")
         self.sim = sim
@@ -313,9 +313,7 @@ class ReplicationMetric:
 
     def under_replicated(self) -> int:
         """Surviving objects below the replication target."""
-        return sum(
-            1 for count in self._true_holder_counts() if 0 < count < self.target
-        )
+        return sum(1 for count in self._true_holder_counts() if 0 < count < self.target)
 
     def mean_replication(self) -> float:
         """Average live replica count over surviving objects."""
@@ -330,3 +328,117 @@ class ReplicationMetric:
         if not surviving:
             return 0.0
         return sum(1 for c in surviving if c < self.target) / len(surviving)
+
+
+@applications.register(
+    "replication-repair",
+    summary="token-budgeted replica repair under permanent failures (§5 direction)",
+    params=(
+        ParamSpec(
+            "target_replication",
+            "int",
+            default=3,
+            help="R — desired live holders per object",
+        ),
+        ParamSpec(
+            "objects_per_node",
+            "float",
+            default=1.0,
+            help="objects placed per node",
+        ),
+        ParamSpec(
+            "fail_fraction",
+            "float",
+            default=0.2,
+            help="fraction of nodes failing permanently",
+        ),
+        ParamSpec(
+            "fail_window",
+            "tuple",
+            default=(0.25, 0.35),
+            help="failure window as fractions of the horizon",
+        ),
+        ParamSpec(
+            "detection_delay",
+            "float",
+            default=None,
+            help="failure detection delay in seconds (None = one period)",
+        ),
+    ),
+)
+class ReplicationRepairPlugin(ApplicationPlugin):
+    """Registry assembly hooks for replication repair.
+
+    Churn schedules are rejected: the application models *permanent*
+    failures with detection, and a node that is merely offline is not a
+    lost replica.
+    """
+
+    name = "replication-repair"
+    default_overlay = "kout"
+    supports_churn = False
+    churn_note = "replication uses permanent failures, not churn (offline != failed)"
+
+    def __init__(
+        self,
+        target_replication: int = 3,
+        objects_per_node: float = 1.0,
+        fail_fraction: float = 0.2,
+        fail_window: Tuple[float, float] = (0.25, 0.35),
+        detection_delay: Optional[float] = None,
+    ):
+        if target_replication < 1:
+            raise ValueError("target_replication must be >= 1")
+        if objects_per_node <= 0:
+            raise ValueError(
+                f"objects_per_node must be positive, got {objects_per_node}"
+            )
+        if not 0.0 <= fail_fraction < 1.0:
+            raise ValueError(f"fail_fraction must be in [0, 1), got {fail_fraction}")
+        if not 0.0 <= fail_window[0] <= fail_window[1] <= 1.0:
+            raise ValueError(f"invalid fail_window {fail_window}")
+        self.target_replication = target_replication
+        self.objects_per_node = objects_per_node
+        self.fail_fraction = fail_fraction
+        self.fail_window = tuple(fail_window)
+        self.detection_delay = detection_delay
+
+    def _n_objects(self, ctx: BuildContext) -> int:
+        return max(1, round(ctx.spec.n * self.objects_per_node))
+
+    def build_apps(self, ctx: BuildContext) -> List[ReplicationApp]:
+        return [ReplicationApp(self.target_replication) for _ in range(ctx.spec.n)]
+
+    def build_environment(self, ctx: BuildContext, nodes, apps) -> dict:
+        placement = place_objects(
+            apps,
+            self._n_objects(ctx),
+            self.target_replication,
+            ctx.streams.stream("placement"),
+        )
+        detector = FailureDetector(
+            ctx.sim,
+            nodes,
+            delay=(
+                self.detection_delay
+                if self.detection_delay is not None
+                else ctx.spec.period
+            ),
+        )
+        injector = PermanentFailureInjector(
+            ctx.sim,
+            nodes,
+            detector,
+            self.fail_fraction,
+            ctx.streams.stream("failures"),
+            start=ctx.spec.horizon * self.fail_window[0],
+            end=ctx.spec.horizon * self.fail_window[1],
+        )
+        return {
+            "placement": placement,
+            "failure_detector": detector,
+            "failure_injector": injector,
+        }
+
+    def build_metric(self, ctx: BuildContext, nodes, workload) -> "ReplicationMetric":
+        return ReplicationMetric(nodes, self._n_objects(ctx), self.target_replication)

@@ -57,7 +57,9 @@ class LinearRegressionModel:
         """Model output for one example."""
         return float(self.weights[:-1] @ features + self.weights[-1])
 
-    def sgd_step(self, features: np.ndarray, target: float, learning_rate: float) -> None:
+    def sgd_step(
+        self, features: np.ndarray, target: float, learning_rate: float
+    ) -> None:
         """One stochastic gradient step on the squared loss."""
         residual = self.predict(features) - target
         self.weights[:-1] -= learning_rate * residual * features

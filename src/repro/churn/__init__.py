@@ -20,6 +20,7 @@ The real trace is not distributable, so this package provides:
 * :mod:`repro.churn.stats` — the statistics shown in Figure 1.
 """
 
+from repro.churn.flash_crowd import FlashCrowdConfig, generate_flash_crowd_trace
 from repro.churn.schedule import ChurnSchedule
 from repro.churn.stats import (
     ever_online_fraction,
@@ -33,9 +34,11 @@ from repro.churn.trace import AvailabilityTrace, Interval
 __all__ = [
     "AvailabilityTrace",
     "ChurnSchedule",
+    "FlashCrowdConfig",
     "Interval",
     "StunnerTraceConfig",
     "ever_online_fraction",
+    "generate_flash_crowd_trace",
     "generate_stunner_like_trace",
     "login_logout_fractions",
     "online_fraction",

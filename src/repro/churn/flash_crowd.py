@@ -1,0 +1,106 @@
+"""Flash-crowd churn: a stable backbone hit by a sudden arrival wave.
+
+The STUNner-like trace exercises slow diurnal churn; rate-limiting
+literature (token buckets guarding against request surges) cares about
+the *opposite* regime — a sudden, correlated arrival burst. This model
+generates exactly that:
+
+* a **backbone** fraction of nodes is online for the whole window (the
+  long-lived residents);
+* every other node is a **crowd** member: it arrives during a short
+  arrival window (uniformly within it), stays for an individually drawn
+  sojourn, and leaves again — never to return;
+* a configurable slice of the crowd never shows up at all (mirroring the
+  never-online mass of the smartphone trace).
+
+The result is a classic flash-crowd availability curve: flat base level,
+a steep ramp at the arrival window, then an exponential-ish decay back
+toward the backbone as sojourns expire. Protocols only ever observe the
+online/offline schedule, so this plugs into the same
+:class:`~repro.churn.schedule.ChurnSchedule` machinery as the trace
+scenario.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.churn.trace import AvailabilityTrace, Interval
+
+
+@dataclass(frozen=True)
+class FlashCrowdConfig:
+    """Shape of the flash crowd, in fractions of the horizon.
+
+    Defaults produce a pronounced but short-lived surge: 30 % backbone,
+    arrivals concentrated in the [10 %, 20 %) window of the run, typical
+    sojourns between 10 % and 40 % of the horizon.
+    """
+
+    #: length of the generated window in seconds
+    horizon: float
+    #: fraction of nodes online for the entire window
+    base_fraction: float = 0.30
+    #: start of the arrival window, as a fraction of the horizon
+    arrival_start: float = 0.10
+    #: length of the arrival window, as a fraction of the horizon
+    arrival_window: float = 0.10
+    #: sojourn-time bounds for crowd nodes, as fractions of the horizon
+    stay_min: float = 0.10
+    stay_max: float = 0.40
+    #: fraction of crowd nodes that never arrive at all
+    no_show_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {self.horizon}")
+        for name in ("base_fraction", "arrival_start", "no_show_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.arrival_window <= 0:
+            raise ValueError(
+                f"arrival_window must be positive, got {self.arrival_window}"
+            )
+        if not 0.0 < self.stay_min <= self.stay_max:
+            raise ValueError(
+                f"need 0 < stay_min <= stay_max, got "
+                f"[{self.stay_min}, {self.stay_max}]"
+            )
+
+
+def generate_flash_crowd_trace(
+    n: int, rng: random.Random, config: FlashCrowdConfig
+) -> AvailabilityTrace:
+    """Generate the flash-crowd availability trace for ``n`` nodes.
+
+    Node ids are assigned backbone-first so that initial placement over
+    low ids lands on stable nodes — mirroring how a deployed system's
+    bootstrap set consists of long-lived residents.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one node, got {n}")
+    horizon = config.horizon
+    backbone = round(n * config.base_fraction)
+    segments: List[Sequence[Interval]] = []
+    for node_id in range(n):
+        if node_id < backbone:
+            segments.append([Interval(0.0, horizon)])
+            continue
+        if rng.random() < config.no_show_fraction:
+            segments.append([])
+            continue
+        arrival = horizon * (
+            config.arrival_start + rng.random() * config.arrival_window
+        )
+        stay = horizon * (
+            config.stay_min + rng.random() * (config.stay_max - config.stay_min)
+        )
+        departure = min(arrival + stay, horizon)
+        if departure <= arrival:
+            segments.append([])
+            continue
+        segments.append([Interval(arrival, departure)])
+    return AvailabilityTrace(horizon, segments)

@@ -1,0 +1,136 @@
+"""Churn-model registry entries: name -> availability-trace factory.
+
+A churn model is a factory ``(n, rng, horizon, **params)`` returning an
+:class:`~repro.churn.trace.AvailabilityTrace` (or ``None`` for the
+failure-free regime). The experiment runner turns a non-``None`` trace
+into online/offline events via
+:class:`~repro.churn.schedule.ChurnSchedule`; the ``rng`` is a dedicated
+named stream, so the generated schedule never depends on which strategy
+or application runs over it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.churn.flash_crowd import FlashCrowdConfig, generate_flash_crowd_trace
+from repro.churn.stunner import StunnerTraceConfig, generate_stunner_like_trace
+from repro.churn.trace import AvailabilityTrace
+from repro.registry import ParamSpec, churn_models
+
+
+@churn_models.register(
+    "none",
+    summary="failure-free: every node online for the whole run (§4.1)",
+)
+def _no_churn(
+    n: int, rng: random.Random, horizon: float
+) -> Optional[AvailabilityTrace]:
+    return None
+
+
+@churn_models.register(
+    "stunner-trace",
+    summary="synthetic STUNner-like smartphone availability trace (§4.1, Figure 1)",
+    params=(
+        ParamSpec(
+            "never_online_probability",
+            "float",
+            default=0.30,
+            help="fraction of users that never come online in the window",
+        ),
+        ParamSpec(
+            "always_online_probability",
+            "float",
+            default=0.06,
+            help="fraction of devices plugged in for the whole window",
+        ),
+        ParamSpec(
+            "nightly_charge_probability",
+            "float",
+            default=0.85,
+            help="probability of an overnight charging session per night",
+        ),
+    ),
+)
+def _stunner_trace(
+    n: int,
+    rng: random.Random,
+    horizon: float,
+    never_online_probability: float = 0.30,
+    always_online_probability: float = 0.06,
+    nightly_charge_probability: float = 0.85,
+) -> AvailabilityTrace:
+    config = StunnerTraceConfig(
+        horizon=horizon,
+        never_online_probability=never_online_probability,
+        always_online_probability=always_online_probability,
+        nightly_charge_probability=nightly_charge_probability,
+    )
+    return generate_stunner_like_trace(n, rng, config)
+
+
+@churn_models.register(
+    "flash-crowd",
+    summary="stable backbone hit by a sudden arrival wave that churns out again",
+    params=(
+        ParamSpec(
+            "base_fraction",
+            "float",
+            default=0.30,
+            help="fraction of nodes online for the entire window",
+        ),
+        ParamSpec(
+            "arrival_start",
+            "float",
+            default=0.10,
+            help="start of the arrival window (fraction of the horizon)",
+        ),
+        ParamSpec(
+            "arrival_window",
+            "float",
+            default=0.10,
+            help="length of the arrival window (fraction of the horizon)",
+        ),
+        ParamSpec(
+            "stay_min",
+            "float",
+            default=0.10,
+            help="minimum crowd sojourn (fraction of the horizon)",
+        ),
+        ParamSpec(
+            "stay_max",
+            "float",
+            default=0.40,
+            help="maximum crowd sojourn (fraction of the horizon)",
+        ),
+        ParamSpec(
+            "no_show_fraction",
+            "float",
+            default=0.05,
+            help="fraction of crowd nodes that never arrive at all",
+        ),
+    ),
+)
+def _flash_crowd(
+    n: int,
+    rng: random.Random,
+    horizon: float,
+    base_fraction: float = 0.30,
+    arrival_start: float = 0.10,
+    arrival_window: float = 0.10,
+    stay_min: float = 0.10,
+    stay_max: float = 0.40,
+    no_show_fraction: float = 0.05,
+) -> AvailabilityTrace:
+    config = FlashCrowdConfig(
+        horizon=horizon,
+        base_fraction=base_fraction,
+        arrival_start=arrival_start,
+        arrival_window=arrival_window,
+        stay_min=stay_min,
+        stay_max=stay_max,
+        no_show_fraction=no_show_fraction,
+    )
+    return generate_flash_crowd_trace(n, rng, config)

@@ -41,9 +41,7 @@ class ChurnSchedule:
         :meth:`initial_online` when constructing nodes).
         """
         if len(nodes) != self.trace.n:
-            raise ValueError(
-                f"trace covers {self.trace.n} nodes but got {len(nodes)}"
-            )
+            raise ValueError(f"trace covers {self.trace.n} nodes but got {len(nodes)}")
         scheduled = 0
         for node in nodes:
             expected = self.initial_online(node.node_id)

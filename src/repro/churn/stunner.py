@@ -95,9 +95,7 @@ def _draw_timezone_offset(rng: random.Random, config: StunnerTraceConfig) -> flo
     return rng.choice([-5.0, -6.0, -7.0, -8.0]) * HOUR  # US timezones
 
 
-def _user_segments(
-    rng: random.Random, config: StunnerTraceConfig
-) -> List[Interval]:
+def _user_segments(rng: random.Random, config: StunnerTraceConfig) -> List[Interval]:
     """Generate one user's merged online intervals."""
     offset = _draw_timezone_offset(rng, config)
     bedtime = config.bedtime_mean + rng.gauss(0.0, config.bedtime_std / 2)

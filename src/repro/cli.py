@@ -3,6 +3,8 @@
 Gives shell access to the main library entry points:
 
 * ``run`` — run one configured experiment and print the metric series;
+* ``list`` — enumerate the registered strategies, applications, overlays
+  and churn models with their parameter schemas;
 * ``figure`` — regenerate a paper figure (1–5) at a chosen scale;
 * ``sweep`` — the §4.2 parameter-space exploration;
 * ``suite`` — the full multi-strategy sweep as one parallel suite with
@@ -10,10 +12,20 @@ Gives shell access to the main library entry points:
 * ``trace`` — generate a synthetic STUNner-like availability trace to a
   file and print its Figure-1 statistics.
 
-Examples::
+Every choice list (``--app``, ``--strategy``, ``--overlay``,
+``--scenario``) is derived from the component registries
+(:mod:`repro.registry`), so registering a new component makes it
+runnable from the shell with no CLI changes. Examples::
 
     python -m repro run --app push-gossip --strategy randomized -A 10 -C 20 \\
         --nodes 500 --periods 200
+    python -m repro run --app chaotic-iteration --strategy randomized \\
+        -A 5 -C 10 --scenario trace --nodes 300 --periods 100
+    python -m repro run --app push-gossip --strategy randomized -A 10 -C 20 \\
+        --overlay watts-strogatz --loss-rate 0.1
+    python -m repro run --app gossip-learning --strategy simple -C 10 \\
+        --scenario flash-crowd
+    python -m repro list
     python -m repro figure 2 --app gossip-learning --scale ci
     python -m repro sweep --app push-gossip --strategy generalized
     python -m repro suite --app gossip-learning --workers 8 --save suite.json
@@ -26,46 +38,103 @@ with the ``REPRO_WORKERS`` environment variable (default: CPU count).
 from __future__ import annotations
 
 import argparse
+import ast
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.churn.stats import trace_summary
 from repro.churn.stunner import StunnerTraceConfig, generate_stunner_like_trace
-from repro.experiments.config import APPLICATIONS, ExperimentConfig
+from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import format_series_table
 from repro.experiments.runner import run_experiment
 from repro.experiments.scale import ScalePreset, current_scale
+from repro.experiments.sweep import sweepable_strategies
+from repro.registry import (
+    ALL_REGISTRIES,
+    applications,
+    churn_models,
+    overlays,
+    strategies,
+)
+from repro.scenarios import SCENARIOS, ComponentRef
 from repro.sim.randomness import RandomStreams
 
 
+def _parse_component_param(text: str) -> tuple:
+    """Parse a ``key=value`` override; values read as Python literals."""
+    key, separator, raw = text.partition("=")
+    if not separator or not key:
+        raise argparse.ArgumentTypeError(f"expected KEY=VALUE, got {text!r}")
+    try:
+        value = ast.literal_eval(raw)
+    except (ValueError, SyntaxError):
+        value = raw  # plain strings may be spelled without quotes
+    return key, value
+
+
 def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--app", required=True, choices=APPLICATIONS)
-    parser.add_argument(
-        "--strategy",
-        required=True,
-        choices=(
-            "proactive",
-            "simple",
-            "generalized",
-            "randomized",
-            "reactive",
-            "graded-generalized",
-            "graded-randomized",
-        ),
-    )
+    parser.add_argument("--app", required=True, choices=applications.names())
+    parser.add_argument("--strategy", required=True, choices=strategies.names())
     parser.add_argument("-A", "--spend-rate", type=int, default=None)
     parser.add_argument("-C", "--capacity", type=int, default=None)
     parser.add_argument("--nodes", type=int, default=500)
     parser.add_argument("--periods", type=int, default=200)
-    parser.add_argument("--scenario", choices=("failure-free", "trace"),
-                        default="failure-free")
+    parser.add_argument("--scenario", choices=SCENARIOS, default="failure-free")
+    parser.add_argument(
+        "--churn",
+        choices=churn_models.names(),
+        default=None,
+        help="churn model (overrides the --scenario preset's choice)",
+    )
+    parser.add_argument(
+        "--overlay",
+        choices=overlays.names(),
+        default=None,
+        help="overlay topology (default: the app's §4.1 overlay)",
+    )
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--loss-rate", type=float, default=0.0)
+    parser.add_argument(
+        "--transfer-jitter",
+        type=float,
+        default=0.0,
+        help="relative uniform jitter on the per-message transfer time",
+    )
+    parser.add_argument(
+        "--period-spread",
+        type=float,
+        default=0.0,
+        help="heterogeneous node periods: uniform on period*(1±spread)",
+    )
     parser.add_argument("--grading-scale", type=float, default=None)
-    parser.add_argument("--audit", action="store_true",
-                        help="verify the §3.4 burst bound after the run")
-    parser.add_argument("--save", type=str, default=None, metavar="FILE",
-                        help="write the result to FILE (.json or .csv)")
+    parser.add_argument(
+        "--app-param",
+        action="append",
+        type=_parse_component_param,
+        default=None,
+        metavar="KEY=VALUE",
+        help="extra application parameter (see `repro list`); repeatable",
+    )
+    parser.add_argument(
+        "--churn-param",
+        action="append",
+        type=_parse_component_param,
+        default=None,
+        metavar="KEY=VALUE",
+        help="extra churn-model parameter (see `repro list`); repeatable",
+    )
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="verify the §3.4 burst bound after the run",
+    )
+    parser.add_argument(
+        "--save",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write the result to FILE (.json or .csv)",
+    )
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
@@ -77,8 +146,11 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         n=args.nodes,
         periods=args.periods,
         scenario=args.scenario,
+        overlay=args.overlay,
         seed=args.seed,
         loss_rate=args.loss_rate,
+        transfer_jitter=args.transfer_jitter,
+        period_spread=args.period_spread,
         grading_scale=args.grading_scale,
         audit_sends=args.audit,
     )
@@ -86,8 +158,22 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
 
 def _command_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
-    print(f"running {config.label()} (N={config.n}, periods={config.periods})")
-    result = run_experiment(config)
+    target = config
+    if args.app_param or args.churn or args.churn_param:
+        # Component-level overrides go beyond the flat config surface:
+        # compile to the declarative spec and patch the component refs.
+        spec = config.to_spec()
+        if args.app_param:
+            spec = spec.with_overrides(app=spec.app.with_params(**dict(args.app_param)))
+        if args.churn:
+            spec = spec.with_overrides(churn=ComponentRef(args.churn))
+        if args.churn_param:
+            spec = spec.with_overrides(
+                churn=spec.churn.with_params(**dict(args.churn_param))
+            )
+        target = spec
+    print(f"running {target.label()} (N={config.n}, periods={config.periods})")
+    result = run_experiment(target)
     print(format_series_table({config.strategy: result.metric}, rows=15))
     print()
     print(result.summary())
@@ -101,6 +187,25 @@ def _command_run(args: argparse.Namespace) -> int:
 
         save_result(result, args.save)
         print(f"saved to {args.save}")
+    return 0
+
+
+def _command_list(args: argparse.Namespace) -> int:
+    """Enumerate the component registries with their parameter schemas."""
+    sections = ALL_REGISTRIES
+    if args.kind:
+        sections = {args.kind: ALL_REGISTRIES[args.kind]}
+    first = True
+    for title, registry in sections.items():
+        if not first:
+            print()
+        first = False
+        print(f"{title}:")
+        for entry in registry:
+            description = entry.describe().replace("\n", "\n  ")
+            print(f"  {description}")
+    print()
+    print(f"scenarios (churn presets for --scenario): {', '.join(SCENARIOS)}")
     return 0
 
 
@@ -172,7 +277,12 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
     scale = _resolve_scale(args.scale)
     cells = run_sweep(
-        args.app, args.strategy, scale=scale, seed=args.seed, workers=args.workers
+        args.app,
+        args.strategy,
+        scale=scale,
+        seed=args.seed,
+        scenario=args.scenario,
+        workers=args.workers,
     )
     higher_is_better = args.app == "gossip-learning"
     print(
@@ -197,15 +307,15 @@ def _command_suite(args: argparse.Namespace) -> int:
     )
 
     scale = _resolve_scale(args.scale)
-    strategies = args.strategies or ["simple", "generalized", "randomized"]
+    strategies_chosen = args.strategies or ["simple", "generalized", "randomized"]
     # Dedupe while preserving order: a repeated strategy would re-run its
     # cells and corrupt the per-strategy result slices below.
-    strategies = list(dict.fromkeys(strategies))
+    strategies_chosen = list(dict.fromkeys(strategies_chosen))
     parts = []
-    coordinate_map = {}
+    coordinate_map: Dict[str, tuple] = {}
     offset = 0
     all_configs = []
-    for strategy in strategies:
+    for strategy in strategies_chosen:
         suite, coordinates = sweep_suite(
             args.app, strategy, scale=scale, seed=args.seed, scenario=args.scenario
         )
@@ -234,7 +344,7 @@ def _command_suite(args: argparse.Namespace) -> int:
             f"process pools need fork support"
         )
     higher_is_better = args.app == "gossip-learning"
-    for strategy in strategies:
+    for strategy in strategies_chosen:
         start, coordinates = coordinate_map[strategy]
         results = [
             cell.result
@@ -277,63 +387,101 @@ def build_parser() -> argparse.ArgumentParser:
     _add_experiment_arguments(run_parser)
     run_parser.set_defaults(handler=_command_run)
 
+    list_parser = commands.add_parser(
+        "list", help="enumerate registered components and their parameters"
+    )
+    list_parser.add_argument(
+        "kind",
+        nargs="?",
+        choices=tuple(ALL_REGISTRIES),
+        default=None,
+        help="restrict the listing to one registry",
+    )
+    list_parser.set_defaults(handler=_command_list)
+
     figure_parser = commands.add_parser("figure", help="regenerate a paper figure")
     figure_parser.add_argument("number", type=int, help="figure number (1-5)")
-    figure_parser.add_argument("--app", choices=APPLICATIONS, default=None)
-    figure_parser.add_argument("--scale", choices=("ci", "medium", "paper"),
-                               default=None)
+    figure_parser.add_argument("--app", choices=applications.names(), default=None)
+    figure_parser.add_argument(
+        "--scale", choices=("ci", "medium", "paper"), default=None
+    )
     figure_parser.add_argument("--seed", type=int, default=1)
     figure_parser.add_argument("--rows", type=int, default=12)
-    figure_parser.add_argument("--quick", action="store_true",
-                               help="thinned strategy selection")
-    figure_parser.add_argument("--plot", action="store_true",
-                               help="render an ASCII chart of the series")
-    figure_parser.add_argument("--log", action="store_true",
-                               help="log-scale the chart's value axis")
-    figure_parser.add_argument("--save", type=str, default=None, metavar="FILE",
-                               help="write the figure data to FILE (.json/.csv)")
-    figure_parser.add_argument("--workers", type=int, default=None,
-                               help="worker processes (default: REPRO_WORKERS "
-                                    "or the CPU count)")
+    figure_parser.add_argument(
+        "--quick", action="store_true", help="thinned strategy selection"
+    )
+    figure_parser.add_argument(
+        "--plot", action="store_true", help="render an ASCII chart of the series"
+    )
+    figure_parser.add_argument(
+        "--log", action="store_true", help="log-scale the chart's value axis"
+    )
+    figure_parser.add_argument(
+        "--save",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write the figure data to FILE (.json/.csv)",
+    )
+    figure_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: REPRO_WORKERS or the CPU count)",
+    )
     figure_parser.set_defaults(handler=_command_figure)
 
     sweep_parser = commands.add_parser("sweep", help="§4.2 parameter sweep")
-    sweep_parser.add_argument("--app", required=True, choices=APPLICATIONS)
+    sweep_parser.add_argument("--app", required=True, choices=applications.names())
     sweep_parser.add_argument(
-        "--strategy", required=True, choices=("simple", "generalized", "randomized")
+        "--strategy", required=True, choices=sweepable_strategies()
     )
-    sweep_parser.add_argument("--scale", choices=("ci", "medium", "paper"),
-                              default=None)
+    sweep_parser.add_argument("--scenario", choices=SCENARIOS, default="failure-free")
+    sweep_parser.add_argument(
+        "--scale", choices=("ci", "medium", "paper"), default=None
+    )
     sweep_parser.add_argument("--seed", type=int, default=1)
-    sweep_parser.add_argument("--workers", type=int, default=None,
-                              help="worker processes (default: REPRO_WORKERS "
-                                   "or the CPU count)")
+    sweep_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: REPRO_WORKERS or the CPU count)",
+    )
     sweep_parser.set_defaults(handler=_command_sweep)
 
     suite_parser = commands.add_parser(
         "suite",
         help="run the multi-strategy (A, C) exploration as one parallel suite",
     )
-    suite_parser.add_argument("--app", required=True, choices=APPLICATIONS)
+    suite_parser.add_argument("--app", required=True, choices=applications.names())
     suite_parser.add_argument(
         "--strategies",
         nargs="+",
-        choices=("simple", "generalized", "randomized"),
+        choices=sweepable_strategies(),
         default=None,
-        help="strategies to include (default: all three)",
+        help="strategies to include (default: simple, generalized, randomized)",
     )
-    suite_parser.add_argument("--scenario", choices=("failure-free", "trace"),
-                              default="failure-free")
-    suite_parser.add_argument("--scale", choices=("ci", "medium", "paper"),
-                              default=None)
+    suite_parser.add_argument("--scenario", choices=SCENARIOS, default="failure-free")
+    suite_parser.add_argument(
+        "--scale", choices=("ci", "medium", "paper"), default=None
+    )
     suite_parser.add_argument("--seed", type=int, default=1)
-    suite_parser.add_argument("--workers", type=int, default=None,
-                              help="worker processes (default: REPRO_WORKERS "
-                                   "or the CPU count)")
-    suite_parser.add_argument("--quiet", action="store_true",
-                              help="suppress per-cell progress/ETA lines")
-    suite_parser.add_argument("--save", type=str, default=None, metavar="FILE",
-                              help="write the suite result document to FILE (.json)")
+    suite_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: REPRO_WORKERS or the CPU count)",
+    )
+    suite_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress/ETA lines"
+    )
+    suite_parser.add_argument(
+        "--save",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write the suite result document to FILE (.json)",
+    )
     suite_parser.set_defaults(handler=_command_suite)
 
     trace_parser = commands.add_parser(

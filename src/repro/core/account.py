@@ -59,9 +59,7 @@ class TokenAccount:
         if capacity is not None and capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         if capacity is not None and initial > capacity:
-            raise ValueError(
-                f"initial balance {initial} exceeds capacity {capacity}"
-            )
+            raise ValueError(f"initial balance {initial} exceeds capacity {capacity}")
         self.balance = int(initial)
         self.capacity = capacity
         self.allow_overdraft = allow_overdraft

@@ -31,9 +31,11 @@ The demonstrator applications expose an opt-in grading mode:
 from __future__ import annotations
 
 from repro.core.strategies import (
+    _AC_PARAMS,
     GeneralizedTokenAccount,
     RandomizedTokenAccount,
 )
+from repro.registry import strategies as strategy_registry
 
 
 def as_grade(usefulness) -> float:
@@ -63,6 +65,11 @@ def saturating_grade(gap: float, scale: float) -> float:
     return min(1.0, gap / scale)
 
 
+@strategy_registry.register(
+    "graded-randomized",
+    summary="randomized token account spending u*a/A on graded usefulness",
+    params=_AC_PARAMS,
+)
 class GradedRandomizedTokenAccount(RandomizedTokenAccount):
     """Randomized token account with a graded reactive function.
 
@@ -85,6 +92,11 @@ class GradedRandomizedTokenAccount(RandomizedTokenAccount):
         return f"graded-randomized(A={self.spend_rate}, C={self.capacity})"
 
 
+@strategy_registry.register(
+    "graded-generalized",
+    summary="generalized token account with a linearly interpolated graded budget",
+    params=_AC_PARAMS,
+)
 class GradedGeneralizedTokenAccount(GeneralizedTokenAccount):
     """Generalized token account with a graded reactive function.
 

@@ -55,7 +55,8 @@ class RateLimitViolation:
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"node {self.node_id} sent {self.sends} > {self.bound} messages "
-            f"in [{self.window_start:.3f}, {self.window_start + self.window_length:.3f})"
+            f"in [{self.window_start:.3f}, "
+            f"{self.window_start + self.window_length:.3f})"
         )
 
 

@@ -36,6 +36,14 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Optional
 
+from repro.registry import ParamSpec, strategies as strategy_registry
+
+#: shared (A, C) parameter schema of the token account strategies
+_AC_PARAMS = (
+    ParamSpec("spend_rate", "int", required=True, help="A — token spending rate"),
+    ParamSpec("capacity", "int", required=True, help="C — token capacity (C >= A)"),
+)
+
 
 class Strategy(ABC):
     """A proactive/reactive function pair with a declared token capacity."""
@@ -48,6 +56,11 @@ class Strategy(ABC):
 
     #: whether the account may go negative (purely reactive reference only)
     requires_overdraft: bool = False
+
+    #: whether the runner must seed one initial message per node — the
+    #: purely reactive reference never initiates, so without a kick its
+    #: cascades would not exist at all
+    bootstrap_kick: bool = False
 
     @abstractmethod
     def proactive(self, balance: int) -> float:
@@ -76,6 +89,10 @@ class Strategy(ABC):
         return f"{type(self).__name__}({self.describe()})"
 
 
+@strategy_registry.register(
+    "proactive",
+    summary="purely proactive baseline: send every round, never react (§3.1)",
+)
 class ProactiveStrategy(Strategy):
     """The purely proactive baseline: send every round, never react.
 
@@ -94,6 +111,13 @@ class ProactiveStrategy(Strategy):
         return 0.0
 
 
+@strategy_registry.register(
+    "simple",
+    summary="simple token account: proactive when full, react one-for-one (§3.3.1)",
+    params=(
+        ParamSpec("capacity", "int", required=True, help="C — token capacity"),
+    ),
+)
 class SimpleTokenAccount(Strategy):
     """The simple token account (§3.3.1) — the token-bucket-like baseline.
 
@@ -132,6 +156,11 @@ class SimpleTokenAccount(Strategy):
         return f"simple(C={self.capacity})"
 
 
+@strategy_registry.register(
+    "generalized",
+    summary="generalized token account: floor-scaled reactive spending (§3.3.2)",
+    params=_AC_PARAMS,
+)
 class GeneralizedTokenAccount(Strategy):
     """The generalized token account (§3.3.2).
 
@@ -190,6 +219,11 @@ class GeneralizedTokenAccount(Strategy):
         return f"generalized(A={self.spend_rate}, C={self.capacity})"
 
 
+@strategy_registry.register(
+    "randomized",
+    summary="randomized token account: linear proactive ramp, a/A reactive (§3.3.3)",
+    params=_AC_PARAMS,
+)
 class RandomizedTokenAccount(Strategy):
     """The randomized token account (§3.3.3).
 
@@ -245,6 +279,19 @@ class RandomizedTokenAccount(Strategy):
         return f"randomized(A={self.spend_rate}, C={self.capacity})"
 
 
+@strategy_registry.register(
+    "reactive",
+    summary="purely reactive flooding reference — unbounded, tests/reference only",
+    params=(
+        ParamSpec("fanout", "int", default=1, help="k — messages per reaction"),
+        ParamSpec(
+            "useful_only",
+            "bool",
+            default=True,
+            help="react only to useful messages (the u*k variant)",
+        ),
+    ),
+)
 class PureReactiveStrategy(Strategy):
     """The purely reactive reference ("flooding") — not a viable deployment.
 
@@ -266,6 +313,7 @@ class PureReactiveStrategy(Strategy):
     name = "reactive"
     token_capacity = None
     requires_overdraft = True
+    bootstrap_kick = True
 
     def __init__(self, fanout: int = 1, useful_only: bool = True):
         if fanout < 1:
@@ -286,17 +334,6 @@ class PureReactiveStrategy(Strategy):
         return f"reactive(k={self.fanout}{suffix})"
 
 
-_STRATEGY_NAMES = (
-    "proactive",
-    "simple",
-    "generalized",
-    "randomized",
-    "reactive",
-    "graded-generalized",
-    "graded-randomized",
-)
-
-
 def make_strategy(
     name: str,
     spend_rate: Optional[int] = None,
@@ -306,44 +343,25 @@ def make_strategy(
 ) -> Strategy:
     """Build a strategy from its registry name and parameters.
 
-    This is the configuration-file entry point used by the experiment
-    harness: ``make_strategy("randomized", spend_rate=10, capacity=20)``.
+    The flat legacy entry point used by the experiment harness:
+    ``make_strategy("randomized", spend_rate=10, capacity=20)``. It
+    forwards to the :mod:`repro.registry` strategy registry, passing only
+    the parameters the named strategy declares (so the unified signature
+    keeps working for strategies that take no ``fanout``, etc.).
 
     Parameters mirror the paper's: ``spend_rate`` is ``A``, ``capacity``
     is ``C``.
     """
-    if name == "proactive":
-        return ProactiveStrategy()
-    if name == "simple":
-        if capacity is None:
-            raise ValueError("simple token account requires capacity C")
-        return SimpleTokenAccount(capacity)
-    if name == "generalized":
-        if spend_rate is None or capacity is None:
-            raise ValueError("generalized token account requires A and C")
-        return GeneralizedTokenAccount(spend_rate, capacity)
-    if name == "randomized":
-        if spend_rate is None or capacity is None:
-            raise ValueError("randomized token account requires A and C")
-        return RandomizedTokenAccount(spend_rate, capacity)
-    if name == "reactive":
-        return PureReactiveStrategy(fanout=fanout, useful_only=useful_only)
-    if name in ("graded-generalized", "graded-randomized"):
-        # Imported lazily: grading extends this module's classes.
-        from repro.core.grading import (
-            GradedGeneralizedTokenAccount,
-            GradedRandomizedTokenAccount,
-        )
-
-        if spend_rate is None or capacity is None:
-            raise ValueError(f"{name} requires A and C")
-        cls = (
-            GradedGeneralizedTokenAccount
-            if name == "graded-generalized"
-            else GradedRandomizedTokenAccount
-        )
-        return cls(spend_rate, capacity)
-    raise ValueError(f"unknown strategy {name!r}; expected one of {_STRATEGY_NAMES}")
+    registration = strategy_registry.get(name)
+    params = registration.filter_params(
+        {
+            "spend_rate": spend_rate,
+            "capacity": capacity,
+            "fanout": fanout,
+            "useful_only": useful_only,
+        }
+    )
+    return strategy_registry.create(name, **params)
 
 
 def validate_strategy(strategy: Strategy, max_balance: int = 200) -> None:

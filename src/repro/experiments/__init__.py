@@ -19,6 +19,7 @@
 
 from repro.experiments.config import PAPER, ExperimentConfig
 from repro.experiments.runner import (
+    ConfigLike,
     Experiment,
     ExperimentResult,
     average_results,
@@ -39,6 +40,7 @@ from repro.experiments.suite import (
 
 __all__ = [
     "CellResult",
+    "ConfigLike",
     "Experiment",
     "ExperimentConfig",
     "ExperimentResult",

@@ -4,10 +4,19 @@ An :class:`ExperimentConfig` fully determines a run: application,
 strategy, parameters A/C, network, timing, scenario and seed. Identical
 configs produce identical results.
 
-The module constant :data:`PAPER` collects the published constants:
-Δ = 172.8 s (1,000 periods over two days), transfer time 1.728 s (Δ/100),
-20-out overlay, Watts–Strogatz (4, 0.01) for chaotic iteration, one
-update injection per 17.28 s for push gossip, zero initial tokens.
+This is the *flat* legacy surface: a single dataclass whose fields cover
+the common knobs of every built-in component. Internally it compiles
+into a :class:`~repro.scenarios.ScenarioSpec` (:meth:`ExperimentConfig.to_spec`)
+— the declarative app x strategy x overlay x churn x network composition
+the runner actually builds — and all validation is delegated to the
+component registries, so the accepted values for ``app``, ``strategy``,
+``overlay`` and ``scenario`` are exactly the registered ones.
+
+The module constant :data:`PAPER` (re-exported from
+:mod:`repro.scenarios`) collects the published constants: Δ = 172.8 s
+(1,000 periods over two days), transfer time 1.728 s (Δ/100), 20-out
+overlay, Watts–Strogatz (4, 0.01) for chaotic iteration, one update
+injection per 17.28 s for push gossip, zero initial tokens.
 """
 
 from __future__ import annotations
@@ -16,51 +25,48 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.core.strategies import Strategy, make_strategy
-
-#: applications known to the runner
-APPLICATIONS = (
-    "gossip-learning",
-    "push-gossip",
-    "push-pull-gossip",
-    "chaotic-iteration",
-    "replication-repair",
+from repro.registry import applications, overlays, strategies
+from repro.scenarios import (
+    PAPER,
+    SCENARIOS,
+    ComponentRef,
+    NetworkSpec,
+    PaperConstants,
+    ScenarioSpec,
+    scenario_preset,
 )
 
-#: scenarios known to the runner
-SCENARIOS = ("failure-free", "trace")
+__all__ = [
+    "APPLICATIONS",
+    "PAPER",
+    "PaperConstants",
+    "SCENARIOS",
+    "ExperimentConfig",
+]
 
+#: applications known to the runner — derived from the registry
+APPLICATIONS = applications.names()
 
-@dataclass(frozen=True)
-class PaperConstants:
-    """The fixed experimental constants of §4.1."""
+#: legacy config fields feeding each overlay's parameters
+_OVERLAY_LEGACY_PARAMS = {
+    "kout": {"k": "out_degree"},
+    "watts-strogatz": {"degree": "ws_degree", "rewire": "ws_rewire"},
+}
 
-    #: proactive period Δ in seconds ("allowing for 1000 periods during
-    #: the two-day interval")
-    period: float = 172.8
-    #: transfer time for one message ("1.728 s, a hundredth of the
-    #: proactive period")
-    transfer_time: float = 1.728
-    #: out-degree of the random overlay ("a fixed 20-out network")
-    out_degree: int = 20
-    #: Watts–Strogatz ring degree ("connected to its closest 4 neighbors")
-    ws_degree: int = 4
-    #: Watts–Strogatz rewiring probability ("a probability of 0.01")
-    ws_rewire: float = 0.01
-    #: push gossip injection period ("17.28 s, that is, ... 10 updates in
-    #: every proactive period")
-    inject_interval: float = 17.28
-    #: initial tokens ("the number of initial tokens ... is zero")
-    initial_tokens: int = 0
-    #: push gossip smoothing window ("averaging measurements over 15
-    #: minute periods")
-    smoothing_window: float = 900.0
-    #: network sizes of the paper's experiments
-    n_small: int = 5000
-    n_large: int = 500_000
-    periods: int = 1000
-
-
-PAPER = PaperConstants()
+#: legacy config fields forwarded as application parameters (same name
+#: on both sides; filtered per app by the parameters the registered
+#: plugin actually declares)
+_APP_LEGACY_FIELDS = (
+    "grading_scale",
+    "pull_on_rejoin",
+    "inject_interval",
+    "reactive_injection",
+    "target_replication",
+    "objects_per_node",
+    "fail_fraction",
+    "fail_window",
+    "detection_delay",
+)
 
 
 @dataclass(frozen=True)
@@ -69,7 +75,9 @@ class ExperimentConfig:
 
     Parameters mirror the paper: ``strategy`` is one of ``proactive`` /
     ``simple`` / ``generalized`` / ``randomized`` (plus the ``reactive``
-    reference), ``spend_rate`` is A, ``capacity`` is C.
+    reference and the graded extensions), ``spend_rate`` is A,
+    ``capacity`` is C. ``repro list`` enumerates every registered
+    component with its parameter schema.
     """
 
     app: str
@@ -82,6 +90,9 @@ class ExperimentConfig:
     transfer_time: float = PAPER.transfer_time
     scenario: str = "failure-free"
     seed: int = 1
+    #: overlay registry name; ``None`` uses the app's default (§4.1:
+    #: k-out for gossip, Watts–Strogatz for chaotic iteration)
+    overlay: Optional[str] = None
     out_degree: int = PAPER.out_degree
     ws_degree: int = PAPER.ws_degree
     ws_rewire: float = PAPER.ws_rewire
@@ -93,7 +104,7 @@ class ExperimentConfig:
     collect_tokens: bool = False
     #: record per-node send timestamps for burst auditing
     audit_sends: bool = False
-    #: §4.1.2 pull request on rejoin (trace scenario, push gossip)
+    #: §4.1.2 pull request on rejoin (churn scenarios, push gossip)
     pull_on_rejoin: bool = True
     #: ablation: route injected updates through the reactive path
     reactive_injection: bool = False
@@ -102,6 +113,12 @@ class ExperimentConfig:
     #: i.i.d. in-transit message drop probability (fault injection; the
     #: paper's default is reliable transfer, i.e. 0.0)
     loss_rate: float = 0.0
+    #: relative uniform jitter on the per-message transfer time (0.0
+    #: keeps the paper's deterministic latency)
+    transfer_jitter: float = 0.0
+    #: heterogeneous proactive periods: each node's period is drawn
+    #: uniformly from ``period * (1 ± period_spread)``
+    period_spread: float = 0.0
     #: graded usefulness scale (§3.1 future work); None keeps the
     #: paper's boolean usefulness
     grading_scale: Optional[float] = None
@@ -118,41 +135,10 @@ class ExperimentConfig:
     detection_delay: Optional[float] = None
 
     def __post_init__(self) -> None:
-        if self.app not in APPLICATIONS:
-            raise ValueError(
-                f"unknown app {self.app!r}; expected one of {APPLICATIONS}"
-            )
-        if self.scenario not in SCENARIOS:
-            raise ValueError(
-                f"unknown scenario {self.scenario!r}; expected one of {SCENARIOS}"
-            )
-        if self.app == "chaotic-iteration" and self.scenario == "trace":
-            raise ValueError(
-                "chaotic iteration is not defined under churn (§4.2: 'it is "
-                "not possible to define convergence for this application')"
-            )
-        if self.app == "replication-repair":
-            if self.scenario == "trace":
-                raise ValueError(
-                    "replication-repair uses permanent failures, not the "
-                    "churn trace (offline != failed)"
-                )
-            if not 0.0 <= self.fail_fraction < 1.0:
-                raise ValueError(
-                    f"fail_fraction must be in [0, 1), got {self.fail_fraction}"
-                )
-            if not 0.0 <= self.fail_window[0] <= self.fail_window[1] <= 1.0:
-                raise ValueError(f"invalid fail_window {self.fail_window}")
-            if self.target_replication < 1:
-                raise ValueError("target_replication must be >= 1")
-        if self.n < 2:
-            raise ValueError(f"need at least 2 nodes, got {self.n}")
-        if self.periods < 1:
-            raise ValueError(f"need at least 1 period, got {self.periods}")
-        if not 0.0 <= self.loss_rate < 1.0:
-            raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
-        # Fail fast on invalid strategy parameters.
-        self.make_strategy()
+        # Compiling to a spec runs the full registry validation chain:
+        # unknown components, parameter schemas, strategy/plugin value
+        # checks and churn compatibility all fail fast here.
+        self.to_spec()
 
     # ------------------------------------------------------------------
     @property
@@ -163,6 +149,75 @@ class ExperimentConfig:
     @property
     def effective_sample_interval(self) -> float:
         return self.sample_interval if self.sample_interval else self.period / 2
+
+    # ------------------------------------------------------------------
+    def to_spec(self) -> ScenarioSpec:
+        """Compile into the declarative :class:`ScenarioSpec`.
+
+        Legacy flat fields are routed to the component that declares
+        them: ``out_degree`` feeds the k-out overlay, ``grading_scale``
+        whichever app is selected, and so on. The reverse mapping does
+        not exist — specs are the richer surface.
+
+        The compiled spec is memoized (both dataclasses are frozen, so
+        it can never go stale): ``__post_init__`` validation and the
+        runner share one compilation instead of re-validating the whole
+        registry chain per call.
+        """
+        cached = self.__dict__.get("_compiled_spec")
+        if cached is not None:
+            return cached
+        preset = scenario_preset(self.scenario)
+        app_registration = applications.get(self.app)
+        app_params = {
+            name: getattr(self, name)
+            for name in _APP_LEGACY_FIELDS
+            if name in app_registration.param_names
+        }
+
+        strategy_params = strategies.get(self.strategy).filter_params(
+            {
+                "spend_rate": self.spend_rate,
+                "capacity": self.capacity,
+                "fanout": self.reactive_fanout,
+            }
+        )
+
+        overlay_name = (
+            self.overlay
+            if self.overlay is not None
+            else app_registration.factory.default_overlay
+        )
+        overlay_registration = overlays.get(overlay_name)
+        overlay_params = {
+            param: getattr(self, field)
+            for param, field in _OVERLAY_LEGACY_PARAMS.get(overlay_name, {}).items()
+            if param in overlay_registration.param_names
+        }
+
+        spec = ScenarioSpec(
+            app=ComponentRef.of(self.app, **app_params),
+            strategy=ComponentRef.of(self.strategy, **strategy_params),
+            overlay=ComponentRef.of(overlay_name, **overlay_params),
+            churn=preset.churn,
+            network=NetworkSpec(
+                transfer_time=self.transfer_time,
+                loss_rate=self.loss_rate,
+                transfer_jitter=self.transfer_jitter,
+            ),
+            n=self.n,
+            periods=self.periods,
+            period=self.period,
+            period_spread=self.period_spread,
+            seed=self.seed,
+            initial_tokens=self.initial_tokens,
+            sample_interval=self.sample_interval,
+            collect_tokens=self.collect_tokens,
+            audit_sends=self.audit_sends,
+        )
+        # Frozen dataclass: cache via __dict__, not setattr.
+        object.__setattr__(self, "_compiled_spec", spec)
+        return spec
 
     def make_strategy(self) -> Strategy:
         """Instantiate the configured strategy."""

@@ -28,6 +28,7 @@ from repro.experiments.figures import FigureData
 from repro.experiments.runner import ExperimentResult
 from repro.experiments.suite import SuiteResult
 from repro.metrics.series import TimeSeries
+from repro.scenarios import ScenarioSpec
 
 PathLike = Union[str, Path]
 
@@ -36,7 +37,14 @@ PathLike = Union[str, Path]
 # Experiment results
 # ----------------------------------------------------------------------
 def result_to_dict(result: ExperimentResult) -> dict:
-    """A JSON-serializable view of an experiment result."""
+    """A JSON-serializable view of an experiment result.
+
+    ``config`` is the flat :class:`ExperimentConfig` shape for legacy
+    runs; results built from a :class:`~repro.scenarios.ScenarioSpec`
+    embed the nested spec shape instead and mark it with
+    ``"config_format": "scenario-spec-v1"`` so schema-aware consumers
+    can branch (the flat shape carries no marker).
+    """
     config = dataclasses.asdict(result.config)
     # Tuples are not JSON round-trippable; normalize.
     config = {
@@ -47,6 +55,11 @@ def result_to_dict(result: ExperimentResult) -> dict:
         "format": "repro-result-v1",
         "label": result.label,
         "config": config,
+        **(
+            {"config_format": "scenario-spec-v1"}
+            if isinstance(result.config, ScenarioSpec)
+            else {}
+        ),
         "metric": {
             "times": list(result.metric.times),
             "values": list(result.metric.values),
@@ -76,9 +89,7 @@ def save_result(result: ExperimentResult, path: PathLike) -> None:
     """Write a result as JSON (``.json``) or CSV (anything else)."""
     path = Path(path)
     if path.suffix.lower() == ".json":
-        path.write_text(
-            json.dumps(result_to_dict(result), indent=2), encoding="utf-8"
-        )
+        path.write_text(json.dumps(result_to_dict(result), indent=2), encoding="utf-8")
     else:
         _write_series_csv(path, {"metric": result.metric})
 
@@ -177,9 +188,7 @@ def suite_to_dict(result: SuiteResult) -> dict:
 
 def save_suite(result: SuiteResult, path: PathLike) -> None:
     """Write a suite result document as JSON."""
-    Path(path).write_text(
-        json.dumps(suite_to_dict(result), indent=2), encoding="utf-8"
-    )
+    Path(path).write_text(json.dumps(suite_to_dict(result), indent=2), encoding="utf-8")
 
 
 # ----------------------------------------------------------------------

@@ -34,6 +34,7 @@ from repro.experiments.scale import ScalePreset, current_scale
 from repro.experiments.suite import ExperimentSuite, run_suite
 from repro.metrics.series import TimeSeries
 from repro.metrics.smoothing import window_average
+from repro.registry import applications
 from repro.sim.randomness import RandomStreams
 
 #: the (strategy, A, C) selection shown in Figures 2-4, per §4.2's text
@@ -192,6 +193,7 @@ def figure2(
     ``app`` picks the row: gossip learning (top), push gossip (middle),
     chaotic iteration (bottom).
     """
+    applications.get(app)  # fail fast with the registered choices
     scale = scale or current_scale()
     selection = QUICK_SELECTION if quick else REPRESENTATIVE_SELECTION
     smooth = PAPER.smoothing_window if app == "push-gossip" else None
@@ -226,7 +228,10 @@ def figure3(
     workers: Optional[int] = None,
 ) -> FigureData:
     """Figure 3: strategies over the smartphone trace (gossip learning and
-    push gossip only; chaotic iteration is undefined under churn)."""
+    push gossip only; the paper's Figure 3 excludes chaotic iteration —
+    run the trace-driven chaotic combination through ``repro run`` /
+    :class:`~repro.scenarios.ScenarioSpec` instead)."""
+    applications.get(app)
     if app == "chaotic-iteration":
         raise ValueError("Figure 3 does not include chaotic iteration (§4.2)")
     scale = scale or current_scale()
@@ -268,6 +273,7 @@ def figure4(
     variants (A=1) are among the worst at small N but among the best at
     large N for gossip learning (§4.2).
     """
+    applications.get(app)
     if app == "chaotic-iteration":
         raise ValueError("Figure 4 covers gossip learning and push gossip only")
     scale = scale or current_scale()

@@ -1,7 +1,9 @@
-"""Build and run configured experiments.
+"""Build and run configured experiments over the component registries.
 
 :func:`run_experiment` is the one-call entry point used by tests,
-benches and examples::
+benches and examples. It accepts either the flat legacy
+:class:`~repro.experiments.config.ExperimentConfig` or a declarative
+:class:`~repro.scenarios.ScenarioSpec`::
 
     from repro.experiments import ExperimentConfig, run_experiment
 
@@ -11,58 +13,50 @@ benches and examples::
     ))
     print(result.metric.final())
 
-Assembly (matching §4.1):
+Assembly is entirely registry-driven (no application-specific imports or
+branches live here): the spec names an app plugin, a strategy, an
+overlay and a churn model by registry name, and :class:`Experiment`
+composes them —
 
-* one root seed feeds named streams for overlay wiring, node phases,
-  protocol coin flips, peer sampling, churn trace and update injection —
-  so changing the strategy does not perturb the overlay or the trace;
-* gossip learning and push gossip run over the random 20-out overlay,
-  chaotic iteration over the Watts–Strogatz ring;
-* in the trace scenario a synthetic STUNner-like trace drives churn and
-  metrics average over online nodes only.
+* one root seed feeds named streams for overlay wiring, node phases and
+  periods, protocol coin flips, peer sampling, churn generation, message
+  loss/jitter and workload injection — so changing one component never
+  perturbs the randomness of another;
+* the churn model may return an availability trace, applied through
+  :class:`~repro.churn.schedule.ChurnSchedule`; metrics then average
+  over online nodes only;
+* the application plugin contributes per-node apps, the optional
+  workload driver, named substrate objects and the sampled metric.
 """
 
 from __future__ import annotations
 
 import time as _wallclock
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Union
 
-from repro.apps.chaotic_iteration import ChaoticIterationMetric, build_chaotic_apps
-from repro.apps.gossip_learning import GossipLearningApp, GossipLearningMetric
-from repro.apps.replication import (
-    FailureDetector,
-    PermanentFailureInjector,
-    ReplicationApp,
-    ReplicationMetric,
-    place_objects,
-)
-from repro.apps.push_gossip import (
-    PushGossipApp,
-    PushGossipMetric,
-    PushPullGossipApp,
-    UpdateInjector,
-)
 from repro.churn.schedule import ChurnSchedule
-from repro.churn.stunner import StunnerTraceConfig, generate_stunner_like_trace
 from repro.core.protocol import TokenAccountNode
 from repro.core.ratelimit import RateLimitAuditor
 from repro.experiments.config import ExperimentConfig
 from repro.metrics.collectors import MetricCollector, TokenBalanceCollector
 from repro.metrics.series import TimeSeries
-from repro.overlay.kout import random_kout_overlay
 from repro.overlay.peer_sampling import PeerSampler
-from repro.overlay.watts_strogatz import watts_strogatz_overlay
+from repro.registry import BuildContext, churn_models, overlays
+from repro.scenarios import ScenarioSpec
 from repro.sim.engine import Simulator
 from repro.sim.network import Network, NetworkStats
 from repro.sim.randomness import RandomStreams
+
+#: what the runner accepts: the flat veneer or the declarative spec
+ConfigLike = Union[ExperimentConfig, ScenarioSpec]
 
 
 @dataclass
 class ExperimentResult:
     """Time series and accounting from one finished run."""
 
-    config: ExperimentConfig
+    config: ConfigLike
     label: str
     #: the application's performance metric over time
     metric: TimeSeries
@@ -79,6 +73,9 @@ class ExperimentResult:
     ratelimit_violations: List = field(default_factory=list)
     #: surviving distinct random walks (gossip learning only, §4.2)
     surviving_walks: Optional[int] = None
+    #: every key the application plugin's ``result_extras`` returned
+    #: (``surviving_walks`` is mirrored into the dedicated field above)
+    extras: Dict[str, Any] = field(default_factory=dict)
     #: wall-clock seconds the run took
     elapsed: float = 0.0
     #: engine events processed (throughput accounting: events / elapsed)
@@ -88,7 +85,11 @@ class ExperimentResult:
         """One-line human-readable digest."""
         parts = [
             self.label,
-            f"final={self.metric.final():.4g}" if not self.metric.empty else "final=n/a",
+            (
+                f"final={self.metric.final():.4g}"
+                if not self.metric.empty
+                else "final=n/a"
+            ),
             f"msgs/node/period={self.messages_per_node_per_period:.3f}",
         ]
         if self.tokens is not None and not self.tokens.empty:
@@ -99,225 +100,199 @@ class ExperimentResult:
 
 
 class Experiment:
-    """A fully wired simulation, ready to run."""
+    """A fully wired simulation, ready to run.
 
-    def __init__(self, config: ExperimentConfig):
+    Substrate objects contributed by the application plugin (placement
+    maps, failure detectors/injectors, ...) are exposed as attributes
+    under the names the plugin chose; the common ones default to
+    ``None`` so callers can probe them uniformly.
+    """
+
+    def __init__(self, config: ConfigLike):
         self.config = config
-        streams = RandomStreams(config.seed)
+        spec = config.to_spec() if isinstance(config, ExperimentConfig) else config
+        self.spec = spec
+        streams = RandomStreams(spec.seed)
+        self.streams = streams
         self.sim = Simulator()
+        net = spec.network
         self.network = Network(
             self.sim,
-            config.transfer_time,
-            loss_rate=config.loss_rate,
-            loss_rng=(
-                streams.stream("message-loss") if config.loss_rate > 0 else None
+            net.transfer_time,
+            loss_rate=net.loss_rate,
+            loss_rng=(streams.stream("message-loss") if net.loss_rate > 0 else None),
+            transfer_jitter=net.transfer_jitter,
+            transfer_rng=(
+                streams.stream("transfer-jitter")
+                if net.transfer_jitter > 0
+                else None
             ),
         )
-        if config.audit_sends:
+        if spec.audit_sends:
             self.network.enable_send_log()
             self.auditor: Optional[RateLimitAuditor] = RateLimitAuditor(self.network)
         else:
             self.auditor = None
 
+        # --- components from the registries ---------------------------
+        self.plugin = spec.build_plugin()
+        self.strategy = spec.build_strategy()
+
         # --- overlay -------------------------------------------------
-        if config.app == "chaotic-iteration":
-            self.overlay = watts_strogatz_overlay(
-                config.n, config.ws_degree, config.ws_rewire, streams.stream("overlay")
-            )
-        else:
-            self.overlay = random_kout_overlay(
-                config.n, config.out_degree, streams.stream("overlay")
-            )
+        overlay_ref = spec.resolved_overlay()
+        self.overlay = overlays.create(
+            overlay_ref.name, spec.n, streams.stream("overlay"), **overlay_ref.kwargs
+        )
         self.sampler = PeerSampler(
             self.overlay, self.network, streams.stream("peer-sampling")
         )
 
         # --- churn ----------------------------------------------------
-        self.trace = None
-        self.schedule = None
-        if config.scenario == "trace":
-            trace_config = StunnerTraceConfig(horizon=config.horizon)
-            self.trace = generate_stunner_like_trace(
-                config.n, streams.stream("churn"), trace_config
-            )
-            self.schedule = ChurnSchedule(self.trace)
+        self.trace = churn_models.create(
+            spec.churn.name,
+            spec.n,
+            streams.stream("churn"),
+            spec.horizon,
+            **spec.churn.kwargs,
+        )
+        self.schedule = ChurnSchedule(self.trace) if self.trace is not None else None
 
         # --- applications & nodes -------------------------------------
-        strategy = config.make_strategy()
+        context = BuildContext(
+            spec=spec,
+            sim=self.sim,
+            network=self.network,
+            overlay=self.overlay,
+            sampler=self.sampler,
+            streams=streams,
+        )
+        self._context = context
+        apps = self.plugin.build_apps(context)
         phase_rng = streams.stream("phases")
         protocol_rng = streams.stream("protocol")
-        if config.app == "chaotic-iteration":
-            apps = build_chaotic_apps(
-                self.overlay, grading_scale=config.grading_scale
-            )
-        elif config.app == "gossip-learning":
-            apps = [
-                GossipLearningApp(grading_scale=config.grading_scale)
-                for _ in range(config.n)
-            ]
-        elif config.app == "replication-repair":
-            apps = [
-                ReplicationApp(config.target_replication)
-                for _ in range(config.n)
-            ]
-        else:
-            app_class = (
-                PushPullGossipApp
-                if config.app == "push-pull-gossip"
-                else PushGossipApp
-            )
-            apps = [
-                app_class(
-                    pull_on_rejoin=config.pull_on_rejoin,
-                    grading_scale=config.grading_scale,
-                )
-                for _ in range(config.n)
-            ]
+        period_rng = streams.stream("periods") if spec.period_spread > 0 else None
         self.nodes: List[TokenAccountNode] = []
-        for node_id in range(config.n):
+        for node_id in range(spec.n):
             online = True
             if self.schedule is not None:
                 online = self.schedule.initial_online(node_id)
+            period = spec.period
+            if period_rng is not None:
+                # Heterogeneous proactive periods: uniform on ±spread.
+                period *= 1.0 + spec.period_spread * (2.0 * period_rng.random() - 1.0)
             node = TokenAccountNode(
                 node_id=node_id,
                 sim=self.sim,
                 network=self.network,
                 peer_sampler=self.sampler,
-                strategy=strategy,
+                strategy=self.strategy,
                 app=apps[node_id],
-                period=config.period,
+                period=period,
                 rng=protocol_rng,
-                initial_tokens=config.initial_tokens,
+                initial_tokens=spec.initial_tokens,
                 online=online,
             )
             # Each node gets its own phase but shares the protocol rng;
             # event order is deterministic, so this is reproducible and
             # avoids half a million Mersenne Twister states.
-            node.process.phase = phase_rng.random() * config.period
+            node.process.phase = phase_rng.random() * period
             self.network.register(node)
             self.nodes.append(node)
 
-        # --- replication-repair substrate -------------------------------
+        # --- application substrate ------------------------------------
+        # Core state a plugin's environment keys must not clobber: what
+        # exists already, plus the attributes assigned below.
+        reserved = set(vars(self)) | {
+            "workload",
+            "injector",
+            "collector",
+            "token_collector",
+        }
         self.placement = None
-        self.failure_injector = None
         self.failure_detector = None
-        if config.app == "replication-repair":
-            n_objects = max(1, round(config.n * config.objects_per_node))
-            self.placement = place_objects(
-                apps,
-                n_objects,
-                config.target_replication,
-                streams.stream("placement"),
-            )
-            self.failure_detector = FailureDetector(
-                self.sim,
-                self.nodes,
-                delay=(
-                    config.detection_delay
-                    if config.detection_delay is not None
-                    else config.period
-                ),
-            )
-            self.failure_injector = PermanentFailureInjector(
-                self.sim,
-                self.nodes,
-                self.failure_detector,
-                config.fail_fraction,
-                streams.stream("failures"),
-                start=config.horizon * config.fail_window[0],
-                end=config.horizon * config.fail_window[1],
-            )
+        self.failure_injector = None
+        for name, value in self.plugin.build_environment(
+            context, self.nodes, apps
+        ).items():
+            if name in reserved:
+                raise ValueError(
+                    f"app {self.plugin.name!r} environment key {name!r} "
+                    "collides with core Experiment state"
+                )
+            setattr(self, name, value)
 
-        # --- purely reactive bootstrap ---------------------------------
+        # --- bootstrap for never-proactive strategies ------------------
         # The flooding reference never initiates (proactive = 0); kick one
         # message per node at its phase so the cascades exist at all.
-        if config.strategy == "reactive":
+        if self.strategy.bootstrap_kick:
             for node in self.nodes:
                 self.sim.schedule_at(node.process.phase, node.kick)
 
         # --- workload -------------------------------------------------
-        self.injector: Optional[UpdateInjector] = None
-        if config.app in ("push-gossip", "push-pull-gossip"):
-            self.injector = UpdateInjector(
-                self.sim,
-                self.nodes,
-                config.inject_interval,
-                streams.stream("injector"),
-                reactive_injection=config.reactive_injection,
-            )
+        self.workload = self.plugin.build_workload(context, self.nodes)
+        #: legacy alias: push gossip's workload is its update injector
+        self.injector = self.workload
 
         # --- metrics ---------------------------------------------------
-        if config.app == "gossip-learning":
-            self._metric_obj = GossipLearningMetric(self.nodes, config.transfer_time)
-        elif config.app in ("push-gossip", "push-pull-gossip"):
-            assert self.injector is not None
-            self._metric_obj = PushGossipMetric(self.nodes, self.injector)
-        elif config.app == "replication-repair":
-            n_objects = max(1, round(config.n * config.objects_per_node))
-            self._metric_obj = ReplicationMetric(
-                self.nodes, n_objects, config.target_replication
-            )
-        else:
-            self._metric_obj = ChaoticIterationMetric(self.nodes, overlay=self.overlay)
+        self._metric_obj = self.plugin.build_metric(context, self.nodes, self.workload)
         self.collector = MetricCollector(
-            self.sim, config.effective_sample_interval, self._metric_obj
+            self.sim, spec.effective_sample_interval, self._metric_obj
         )
         self.token_collector: Optional[TokenBalanceCollector] = None
-        if config.collect_tokens:
+        if spec.collect_tokens:
             self.token_collector = TokenBalanceCollector(
-                self.sim, config.effective_sample_interval, self.nodes
+                self.sim, spec.effective_sample_interval, self.nodes
             )
 
     # ------------------------------------------------------------------
     def run(self) -> ExperimentResult:
         """Execute the run to the horizon and assemble the result."""
-        config = self.config
+        spec = self.spec
         started = _wallclock.perf_counter()
         if self.schedule is not None:
             self.schedule.apply(self.sim, self.nodes)
         for node in self.nodes:
             node.start()
-        if self.injector is not None:
-            self.injector.start()
+        if self.workload is not None:
+            self.workload.start()
         self.collector.start()
         if self.token_collector is not None:
             self.token_collector.start()
-        self.sim.run(until=config.horizon)
+        self.sim.run(until=spec.horizon)
         elapsed = _wallclock.perf_counter() - started
 
         data_messages = self.network.stats.by_kind.get("data", 0)
         violations: List = []
-        if self.auditor is not None and self.config.strategy != "reactive":
-            capacity = config.make_strategy().token_capacity or 0
-            violations = self.auditor.check(config.period, capacity)
-        surviving = None
-        if config.app == "gossip-learning":
-            surviving = self._metric_obj.surviving_lineages()  # type: ignore[union-attr]
+        if self.auditor is not None and self.strategy.token_capacity is not None:
+            # With heterogeneous periods the §3.4 bound must hold for the
+            # fastest node, so audit against the smallest possible period.
+            audit_period = spec.period * (1.0 - spec.period_spread)
+            violations = self.auditor.check(audit_period, self.strategy.token_capacity)
+        extras = self.plugin.result_extras(self._context, self._metric_obj)
         return ExperimentResult(
-            config=config,
-            label=config.label(),
+            config=self.config,
+            label=self.config.label(),
             metric=self.collector.series,
-            tokens=(
-                self.token_collector.series if self.token_collector else None
-            ),
+            tokens=(self.token_collector.series if self.token_collector else None),
             network=self.network.stats,
             data_messages=data_messages,
-            messages_per_node_per_period=data_messages / (config.n * config.periods),
+            messages_per_node_per_period=data_messages / (spec.n * spec.periods),
             ratelimit_violations=violations,
-            surviving_walks=surviving,
+            surviving_walks=extras.get("surviving_walks"),
+            extras=extras,
             elapsed=elapsed,
             events_processed=self.sim.processed,
         )
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+def run_experiment(config: ConfigLike) -> ExperimentResult:
     """Build and run one experiment (the main library entry point)."""
     return Experiment(config).run()
 
 
 def replicate_seeds(
-    config: ExperimentConfig, repeats: int, seed_offset: int = 1000
-) -> List[ExperimentConfig]:
+    config: ConfigLike, repeats: int, seed_offset: int = 1000
+) -> List[ConfigLike]:
     """The ``repeats`` seed variants behind an averaged run.
 
     Every repetition is the same configuration under an independent root
@@ -335,7 +310,7 @@ def replicate_seeds(
 
 
 def run_averaged(
-    config: ExperimentConfig, repeats: int, seed_offset: int = 1000
+    config: ConfigLike, repeats: int, seed_offset: int = 1000
 ) -> ExperimentResult:
     """Average the metric over ``repeats`` independent seeds (§4.2 runs 10).
 
@@ -374,6 +349,7 @@ def average_results(results: List[ExperimentResult]) -> ExperimentResult:
         ),
         ratelimit_violations=[v for r in results for v in r.ratelimit_violations],
         surviving_walks=base.surviving_walks,
+        extras=base.extras,
         elapsed=sum(r.elapsed for r in results),
         events_processed=sum(r.events_processed for r in results),
     )

@@ -45,16 +45,18 @@ from typing import (
     Tuple,
 )
 
-from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import (
+    ConfigLike,
     ExperimentResult,
     replicate_seeds,
     run_experiment,
 )
 from repro.experiments.scale import worker_count
 
-#: signature of a cell task: one config in, one (picklable) result out
-CellTask = Callable[[ExperimentConfig], Any]
+#: signature of a cell task: one config in, one (picklable) result out.
+#: Cells are :class:`ExperimentConfig` or :class:`ScenarioSpec` — both
+#: frozen, picklable and seed-complete — and may be mixed in one suite.
+CellTask = Callable[[ConfigLike], Any]
 
 #: seed spacing between repetition fans (matches ``run_averaged``)
 REPEAT_SEED_OFFSET = 1000
@@ -73,7 +75,7 @@ class ExperimentSuite:
     """
 
     name: str
-    configs: Tuple[ExperimentConfig, ...]
+    configs: Tuple[ConfigLike, ...]
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -83,7 +85,7 @@ class ExperimentSuite:
     def __len__(self) -> int:
         return len(self.configs)
 
-    def __iter__(self) -> Iterator[ExperimentConfig]:
+    def __iter__(self) -> Iterator[ConfigLike]:
         return iter(self.configs)
 
     # ------------------------------------------------------------------
@@ -91,7 +93,7 @@ class ExperimentSuite:
     def from_configs(
         cls,
         name: str,
-        configs: Iterable[ExperimentConfig],
+        configs: Iterable[ConfigLike],
         description: str = "",
     ) -> "ExperimentSuite":
         return cls(name=name, configs=tuple(configs), description=description)
@@ -100,13 +102,13 @@ class ExperimentSuite:
     def from_grid(
         cls,
         name: str,
-        base: ExperimentConfig,
+        base: ConfigLike,
         description: str = "",
         **axes: Sequence[Any],
     ) -> "ExperimentSuite":
         """Cartesian product of config-field axes over a base config.
 
-        ``axes`` maps :class:`ExperimentConfig` field names to value
+        ``axes`` maps config (or spec) field names to value
         sequences; the grid is enumerated in row-major order with the
         *last* keyword varying fastest (like nested loops)::
 
@@ -156,7 +158,7 @@ class CellResult:
     """One executed cell: its config, payload, and worker-side timing."""
 
     index: int
-    config: ExperimentConfig
+    config: ConfigLike
     #: whatever the task returned; :class:`ExperimentResult` by default
     result: Any
     #: wall-clock seconds the cell took inside its worker
@@ -236,7 +238,7 @@ class SuiteExecutionError(RuntimeError):
     callers handle worker failures the same way on every platform.
     """
 
-    def __init__(self, index: int, config: ExperimentConfig, cause: BaseException):
+    def __init__(self, index: int, config: ConfigLike, cause: BaseException):
         super().__init__(
             f"suite cell {index} ({config.label()}, seed={config.seed}) "
             f"failed: {cause!r}"
@@ -282,7 +284,7 @@ def print_progress(progress: SuiteProgress) -> None:
 # Execution
 # ----------------------------------------------------------------------
 def _execute_cell(
-    task: CellTask, index: int, config: ExperimentConfig
+    task: CellTask, index: int, config: ConfigLike
 ) -> Tuple[int, Any, float]:
     """Worker-side wrapper: run one cell and time it."""
     started = time.perf_counter()
@@ -455,7 +457,7 @@ def run_suite(
 
 def run_configs(
     name: str,
-    configs: Iterable[ExperimentConfig],
+    configs: Iterable[ConfigLike],
     workers: Optional[int] = None,
     progress: Optional[Callable[[SuiteProgress], None]] = None,
 ) -> List[ExperimentResult]:

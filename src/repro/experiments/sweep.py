@@ -23,10 +23,31 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.scale import ScalePreset, current_scale
 from repro.experiments.suite import ExperimentSuite, run_suite
+from repro.registry import strategies
 
 #: the paper's grid (§4.2)
 PAPER_A_VALUES: Tuple[int, ...] = (1, 2, 5, 10, 15, 20, 40)
 PAPER_C_MINUS_A: Tuple[int, ...] = (0, 1, 2, 5, 10, 15, 20, 40, 80)
+
+
+def sweepable_strategies() -> Tuple[str, ...]:
+    """Registered strategies the (A, C) grid applies to.
+
+    Derived from the registry rather than hard-coded: anything with a
+    ``capacity`` parameter can be swept over C, and strategies that also
+    declare ``spend_rate`` sweep the full grid. New registered strategies
+    show up in ``repro sweep`` / ``repro suite`` automatically.
+    """
+    return tuple(
+        registration.name
+        for registration in strategies
+        if "capacity" in registration.param_names
+    )
+
+
+def _takes_spend_rate(strategy: str) -> bool:
+    return "spend_rate" in strategies.get(strategy).param_names
+
 
 #: thinned grid used at CI scale
 QUICK_A_VALUES: Tuple[int, ...] = (1, 5, 10, 20)
@@ -81,17 +102,18 @@ def sweep_suite(
         a_values = PAPER_A_VALUES if scale.name == "paper" else QUICK_A_VALUES
     if c_minus_a is None:
         c_minus_a = PAPER_C_MINUS_A if scale.name == "paper" else QUICK_C_MINUS_A
+    takes_spend_rate = _takes_spend_rate(strategy)
     coordinates: List[Tuple[int, int]] = []
     configs: List[ExperimentConfig] = []
     for spend_rate, capacity in parameter_grid(a_values, c_minus_a):
-        if strategy == "simple" and spend_rate != a_values[0]:
-            continue  # the simple strategy has no A parameter
+        if not takes_spend_rate and spend_rate != a_values[0]:
+            continue  # strategies without an A parameter sweep C only
         coordinates.append((spend_rate, capacity))
         configs.append(
             ExperimentConfig(
                 app=app,
                 strategy=strategy,
-                spend_rate=None if strategy == "simple" else spend_rate,
+                spend_rate=spend_rate if takes_spend_rate else None,
                 capacity=capacity,
                 n=scale.n,
                 periods=scale.periods,
@@ -164,9 +186,7 @@ def format_sweep_table(cells: Sequence[SweepCell], higher_is_better: bool) -> st
     lookup: Dict[Tuple[int, int], SweepCell] = {
         (cell.spend_rate, cell.capacity): cell for cell in cells
     }
-    best = (max if higher_is_better else min)(
-        cells, key=lambda cell: cell.final_metric
-    )
+    best = (max if higher_is_better else min)(cells, key=lambda cell: cell.final_metric)
     corner = "A \\ C"
     header = f"{corner:>8} " + " ".join(f"{c:>10}" for c in c_values)
     lines = [header, "-" * len(header)]

@@ -22,9 +22,7 @@ class TimeSeries:
 
     def append(self, time: float, value: float) -> None:
         if self.times and time < self.times[-1]:
-            raise ValueError(
-                f"non-monotone append: t={time} after t={self.times[-1]}"
-            )
+            raise ValueError(f"non-monotone append: t={time} after t={self.times[-1]}")
         self.times.append(time)
         self.values.append(value)
 

@@ -16,6 +16,19 @@ from __future__ import annotations
 import random
 
 from repro.overlay.graph import Overlay
+from repro.registry import ParamSpec, overlays
+
+
+@overlays.register(
+    "kout",
+    summary="fixed random k-out overlay — the paper's default topology (§4.1)",
+    params=(
+        ParamSpec("k", "int", default=20, help="out-degree of every node"),
+    ),
+)
+def _build_kout(n: int, rng: random.Random, k: int = 20) -> Overlay:
+    """Registry factory: ``(n, rng)`` context plus the ``k`` parameter."""
+    return random_kout_overlay(n, k, rng)
 
 
 def random_kout_overlay(n: int, k: int, rng: random.Random) -> Overlay:

@@ -81,7 +81,14 @@ def dominant_eigenvector(matrix: sp.spmatrix, tol: float = 1e-10) -> np.ndarray:
         vector = np.real(eigenvectors[:, index])
     else:
         try:
-            _values, vectors = spla.eigs(matrix.astype(float), k=1, which="LM", tol=tol)
+            # A fixed starting vector keeps ARPACK bit-deterministic (its
+            # default v0 is drawn from numpy's global RNG, which would
+            # wobble the reference at the tolerance level run-to-run and
+            # break the bit-identical determinism contract).
+            start = np.full(n, 1.0 / np.sqrt(n))
+            _values, vectors = spla.eigs(
+                matrix.astype(float), k=1, which="LM", tol=tol, v0=start
+            )
             vector = np.real(vectors[:, 0])
         except (spla.ArpackNoConvergence, spla.ArpackError):
             vector = _power_iteration(matrix, tol)

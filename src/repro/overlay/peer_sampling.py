@@ -52,4 +52,8 @@ class PeerSampler:
     def online_neighbors(self, node_id: int) -> list[int]:
         """All currently online out-neighbors (used by tests and metrics)."""
         nodes = self.network.nodes
-        return [peer for peer in self.overlay.out_neighbors(node_id) if nodes[peer].online]
+        return [
+            peer
+            for peer in self.overlay.out_neighbors(node_id)
+            if nodes[peer].online
+        ]

@@ -24,6 +24,24 @@ import random
 from typing import List, Set
 
 from repro.overlay.graph import Overlay
+from repro.registry import ParamSpec, overlays
+
+
+@overlays.register(
+    "watts-strogatz",
+    summary="Watts–Strogatz small-world ring — poorly mixing on purpose (§4.1.3)",
+    params=(
+        ParamSpec("degree", "int", default=4, help="ring degree (even, >= 2)"),
+        ParamSpec(
+            "rewire", "float", default=0.01, help="per-link rewiring probability"
+        ),
+    ),
+)
+def _build_watts_strogatz(
+    n: int, rng: random.Random, degree: int = 4, rewire: float = 0.01
+) -> Overlay:
+    """Registry factory: ``(n, rng)`` context plus the ring parameters."""
+    return watts_strogatz_overlay(n, degree, rewire, rng)
 
 
 def watts_strogatz_overlay(n: int, k: int, p: float, rng: random.Random) -> Overlay:

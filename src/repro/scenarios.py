@@ -1,0 +1,298 @@
+"""Declarative scenarios: the app x strategy x overlay x churn x network matrix.
+
+A :class:`ScenarioSpec` names one point in the evaluation matrix by
+composing registry components (:mod:`repro.registry`) along five axes:
+
+* **app** — which application plugin builds the per-node logic;
+* **strategy** — the §3 proactive/reactive function pair;
+* **overlay** — the communication topology (``None`` = the app's
+  default, matching §4.1);
+* **churn** — the availability model (``none`` / ``stunner-trace`` /
+  ``flash-crowd`` / ...);
+* **network** — transport behaviour: transfer time, an optional
+  per-message transfer-time jitter, and i.i.d. in-transit loss.
+
+plus the structural knobs (``n``, ``periods``, ``period``, seeded
+randomness) and ``period_spread`` for heterogeneous per-node proactive
+periods. Components are referenced by registry name with validated
+parameters, so *any* registered combination is runnable without touching
+the runner — the paper's two hard-wired scenarios become just two named
+presets in :data:`SCENARIO_PRESETS`, alongside combinations the original
+harness could not express (chaotic iteration under the trace, lossy
+small-world push gossip, a flash-crowd churn schedule).
+
+Specs are frozen, picklable and fully determine a run together with
+their ``seed`` — the same determinism contract as
+:class:`~repro.experiments.config.ExperimentConfig`, which remains as
+the flat legacy veneer and compiles into a spec via
+``ExperimentConfig.to_spec()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional, Tuple
+
+# ----------------------------------------------------------------------
+# The paper's fixed experimental constants (§4.1)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PaperConstants:
+    """The fixed experimental constants of §4.1."""
+
+    #: proactive period Δ in seconds ("allowing for 1000 periods during
+    #: the two-day interval")
+    period: float = 172.8
+    #: transfer time for one message ("1.728 s, a hundredth of the
+    #: proactive period")
+    transfer_time: float = 1.728
+    #: out-degree of the random overlay ("a fixed 20-out network")
+    out_degree: int = 20
+    #: Watts–Strogatz ring degree ("connected to its closest 4 neighbors")
+    ws_degree: int = 4
+    #: Watts–Strogatz rewiring probability ("a probability of 0.01")
+    ws_rewire: float = 0.01
+    #: push gossip injection period ("17.28 s, that is, ... 10 updates in
+    #: every proactive period")
+    inject_interval: float = 17.28
+    #: initial tokens ("the number of initial tokens ... is zero")
+    initial_tokens: int = 0
+    #: push gossip smoothing window ("averaging measurements over 15
+    #: minute periods")
+    smoothing_window: float = 900.0
+    #: network sizes of the paper's experiments
+    n_small: int = 5000
+    n_large: int = 500_000
+    periods: int = 1000
+
+
+PAPER = PaperConstants()
+
+
+# ----------------------------------------------------------------------
+# Component references
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ComponentRef:
+    """A registry component by name, with frozen keyword parameters.
+
+    Parameters are stored as a sorted tuple of ``(name, value)`` pairs so
+    that refs are hashable, picklable and order-insensitive; build with
+    :meth:`of` and read back with :attr:`kwargs`::
+
+        ComponentRef.of("watts-strogatz", degree=4, rewire=0.1)
+    """
+
+    name: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def of(cls, name: str, **params: Any) -> "ComponentRef":
+        return cls(name, tuple(sorted(params.items())))
+
+    @property
+    def kwargs(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def with_params(self, **updates: Any) -> "ComponentRef":
+        """A copy with the given parameters merged over the existing ones."""
+        merged = self.kwargs
+        merged.update(updates)
+        return ComponentRef.of(self.name, **merged)
+
+    def label(self) -> str:
+        if not self.params:
+            return self.name
+        inner = ", ".join(f"{key}={value!r}" for key, value in self.params)
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Transport axis: latency model and in-transit loss."""
+
+    #: base per-message transfer time in virtual seconds
+    transfer_time: float = PAPER.transfer_time
+    #: i.i.d. in-transit drop probability (0.0 = the paper's reliable
+    #: transfer assumption)
+    loss_rate: float = 0.0
+    #: relative uniform jitter on the transfer time: each message takes
+    #: ``transfer_time * (1 ± jitter)``, drawn from a dedicated stream
+    transfer_jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.transfer_time <= 0:
+            raise ValueError(
+                f"transfer_time must be positive, got {self.transfer_time}"
+            )
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+        if not 0.0 <= self.transfer_jitter < 1.0:
+            raise ValueError(
+                f"transfer_jitter must be in [0, 1), got {self.transfer_jitter}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Scenario presets (the named churn regimes behind ``--scenario``)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioPreset:
+    """A named churn regime: the churn component plus a description."""
+
+    name: str
+    churn: ComponentRef
+    summary: str = ""
+
+
+SCENARIO_PRESETS: Dict[str, ScenarioPreset] = {
+    "failure-free": ScenarioPreset(
+        name="failure-free",
+        churn=ComponentRef("none"),
+        summary="every node online for the whole run (§4.1)",
+    ),
+    "trace": ScenarioPreset(
+        name="trace",
+        churn=ComponentRef("stunner-trace"),
+        summary="synthetic STUNner-like smartphone availability trace (§4.1)",
+    ),
+    "flash-crowd": ScenarioPreset(
+        name="flash-crowd",
+        churn=ComponentRef("flash-crowd"),
+        summary=(
+            "a small always-on backbone joined by a sudden crowd that "
+            "churns out again (extension)"
+        ),
+    ),
+}
+
+#: scenario names accepted by ``ExperimentConfig.scenario`` and the CLI
+SCENARIOS: Tuple[str, ...] = tuple(SCENARIO_PRESETS)
+
+
+def scenario_preset(name: str) -> ScenarioPreset:
+    """Look up a preset; unknown names list the valid choices."""
+    try:
+        return SCENARIO_PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; expected one of {SCENARIOS}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# The spec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully declarative point in the scenario matrix.
+
+    Validation happens at construction: component names resolve against
+    the registries, parameters check against the declared schemas, the
+    strategy and application plugin instantiate (so invalid values fail
+    fast), and churn-incompatible applications are rejected.
+    """
+
+    app: ComponentRef
+    strategy: ComponentRef
+    #: ``None`` uses the application plugin's default overlay
+    overlay: Optional[ComponentRef] = None
+    churn: ComponentRef = ComponentRef("none")
+    network: NetworkSpec = NetworkSpec()
+    n: int = PAPER.n_small
+    periods: int = PAPER.periods
+    period: float = PAPER.period
+    #: heterogeneous proactive periods: node ``i`` ticks with its own
+    #: period drawn uniformly from ``period * (1 ± period_spread)``
+    period_spread: float = 0.0
+    seed: int = 1
+    initial_tokens: int = PAPER.initial_tokens
+    #: metric sampling interval; ``None`` defaults to Δ/2
+    sample_interval: Optional[float] = None
+    #: collect the average token balance series (Figure 5)
+    collect_tokens: bool = False
+    #: record per-node send timestamps for burst auditing
+    audit_sends: bool = False
+
+    def __post_init__(self) -> None:
+        from repro.registry import applications, churn_models, overlays, strategies
+
+        if self.n < 2:
+            raise ValueError(f"need at least 2 nodes, got {self.n}")
+        if self.periods < 1:
+            raise ValueError(f"need at least 1 period, got {self.periods}")
+        if self.period <= 0:
+            raise ValueError(f"period must be positive, got {self.period}")
+        if not 0.0 <= self.period_spread < 1.0:
+            raise ValueError(
+                f"period_spread must be in [0, 1), got {self.period_spread}"
+            )
+        app_registration = applications.get(self.app.name)
+        app_registration.validate(self.app.kwargs)
+        churn_models.get(self.churn.name).validate(self.churn.kwargs)
+        if self.overlay is not None:
+            overlays.get(self.overlay.name).validate(self.overlay.kwargs)
+        if self.churn.name != "none" and not app_registration.factory.supports_churn:
+            note = getattr(app_registration.factory, "churn_note", "")
+            raise ValueError(
+                f"app {self.app.name!r} does not support churn "
+                f"(churn model {self.churn.name!r} requested)"
+                + (f": {note}" if note else "")
+            )
+        # Instantiating the strategy and the plugin runs their own value
+        # validation (C >= A, probability ranges, ...) at spec time.
+        strategies.get(self.strategy.name).validate(self.strategy.kwargs)
+        self.build_strategy()
+        self.build_plugin()
+
+    # ------------------------------------------------------------------
+    @property
+    def horizon(self) -> float:
+        """Total simulated time in seconds."""
+        return self.periods * self.period
+
+    @property
+    def effective_sample_interval(self) -> float:
+        return self.sample_interval if self.sample_interval else self.period / 2
+
+    @property
+    def scenario_name(self) -> str:
+        """The preset name matching this spec's churn model, if any."""
+        for preset in SCENARIO_PRESETS.values():
+            if preset.churn.name == self.churn.name:
+                return preset.name
+        return self.churn.name
+
+    # ------------------------------------------------------------------
+    def build_plugin(self):
+        """Instantiate the application plugin with this spec's parameters."""
+        from repro.registry import applications
+
+        return applications.create(self.app.name, **self.app.kwargs)
+
+    def build_strategy(self):
+        """Instantiate the configured strategy."""
+        from repro.registry import strategies
+
+        return strategies.create(self.strategy.name, **self.strategy.kwargs)
+
+    def resolved_overlay(self) -> ComponentRef:
+        """The overlay reference, falling back to the app's default."""
+        if self.overlay is not None:
+            return self.overlay
+        from repro.registry import applications
+
+        return ComponentRef(applications.get(self.app.name).factory.default_overlay)
+
+    def label(self) -> str:
+        """Short human-readable label for reports and plots."""
+        return (
+            f"{self.app.name}/{self.build_strategy().describe()}/"
+            f"{self.scenario_name}"
+        )
+
+    def with_overrides(self, **overrides: Any) -> "ScenarioSpec":
+        """A copy with the given top-level fields replaced."""
+        return replace(self, **overrides)

@@ -60,7 +60,9 @@ class Simulator:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+    def schedule_at(
+        self, time: float, fn: Callable[..., Any], *args: Any
+    ) -> EventHandle:
         """Schedule ``fn(*args)`` to run at absolute virtual time ``time``."""
         if time < self.now:
             raise SimulationError(
@@ -120,7 +122,9 @@ class Simulator:
             return True
         return False
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> int:
         """Run events until the heap drains, ``until`` passes, or ``stop()``.
 
         Parameters

@@ -98,6 +98,8 @@ class Network:
         transfer_time: float,
         loss_rate: float = 0.0,
         loss_rng: Optional[random.Random] = None,
+        transfer_jitter: float = 0.0,
+        transfer_rng: Optional[random.Random] = None,
     ):
         if transfer_time < 0:
             raise ValueError(f"transfer_time must be >= 0, got {transfer_time}")
@@ -105,10 +107,18 @@ class Network:
             raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
         if loss_rate > 0.0 and loss_rng is None:
             raise ValueError("a loss_rng is required when loss_rate > 0")
+        if not 0.0 <= transfer_jitter < 1.0:
+            raise ValueError(
+                f"transfer_jitter must be in [0, 1), got {transfer_jitter}"
+            )
+        if transfer_jitter > 0.0 and transfer_rng is None:
+            raise ValueError("a transfer_rng is required when transfer_jitter > 0")
         self.sim = sim
         self.transfer_time = transfer_time
         self.loss_rate = loss_rate
         self.loss_rng = loss_rng
+        self.transfer_jitter = transfer_jitter
+        self.transfer_rng = transfer_rng
         self.nodes: Dict[int, SimNode] = {}
         self.stats = NetworkStats()
         self.sent_per_node: Dict[int, int] = {}
@@ -159,7 +169,14 @@ class Network:
             self.send_log.setdefault(src, []).append(self.sim.now)
         for listener in self._send_listeners:
             listener(message)
-        self.sim.schedule(self.transfer_time, self._deliver, message)
+        delay = self.transfer_time
+        if self.transfer_jitter > 0.0:
+            # Symmetric uniform jitter: mean delay stays transfer_time,
+            # so metrics normalized by the ideal transfer time compare.
+            delay *= 1.0 + self.transfer_jitter * (
+                2.0 * self.transfer_rng.random() - 1.0
+            )
+        self.sim.schedule(delay, self._deliver, message)
         return message
 
     def add_send_listener(self, listener: Callable[[Message], None]) -> None:

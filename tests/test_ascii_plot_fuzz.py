@@ -33,9 +33,7 @@ def test_chart_renders_any_series(series_by_label):
 @settings(max_examples=40)
 @given(series_strategy)
 def test_log_chart_with_positive_values(series):
-    positive = TimeSeries(
-        (t, abs(v) + 1e-6) for t, v in series
-    )
+    positive = TimeSeries((t, abs(v) + 1e-6) for t, v in series)
     chart = ascii_chart({"s": positive}, width=24, height=6, log_y=True)
     assert "s" in chart
 

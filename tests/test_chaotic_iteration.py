@@ -144,7 +144,5 @@ def test_converged_vector_is_fixed_point():
     matrix = column_normalized_matrix(system.overlay)
     # Angle between x and Ax should be ~0 once converged.
     image = matrix @ vector
-    cosine = abs(vector @ image) / (
-        np.linalg.norm(vector) * np.linalg.norm(image)
-    )
+    cosine = abs(vector @ image) / (np.linalg.norm(vector) * np.linalg.norm(image))
     assert math.acos(min(1.0, cosine)) < 0.02

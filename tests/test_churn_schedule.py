@@ -54,7 +54,11 @@ def test_node_count_mismatch_rejected():
 
 def test_wrong_initial_state_rejected():
     schedule = ChurnSchedule(make_trace())
-    nodes = [SimNode(0, online=False), SimNode(1, online=False), SimNode(2, online=False)]
+    nodes = [
+        SimNode(0, online=False),
+        SimNode(1, online=False),
+        SimNode(2, online=False),
+    ]
     with pytest.raises(ValueError, match="initial"):
         schedule.apply(Simulator(), nodes)
 

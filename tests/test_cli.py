@@ -7,15 +7,8 @@ from repro.cli import build_parser, main
 
 def test_run_command(capsys):
     code = main(
-        [
-            "run",
-            "--app", "push-gossip",
-            "--strategy", "randomized",
-            "-A", "5",
-            "-C", "10",
-            "--nodes", "80",
-            "--periods", "20",
-        ]
+        "run --app push-gossip --strategy randomized -A 5 -C 10"
+        " --nodes 80 --periods 20".split()
     )
     out = capsys.readouterr().out
     assert code == 0
@@ -25,15 +18,8 @@ def test_run_command(capsys):
 
 def test_run_with_audit(capsys):
     code = main(
-        [
-            "run",
-            "--app", "gossip-learning",
-            "--strategy", "simple",
-            "-C", "5",
-            "--nodes", "60",
-            "--periods", "15",
-            "--audit",
-        ]
+        "run --app gossip-learning --strategy simple -C 5"
+        " --nodes 60 --periods 15 --audit".split()
     )
     out = capsys.readouterr().out
     assert code == 0
@@ -42,15 +28,8 @@ def test_run_with_audit(capsys):
 
 def test_run_with_loss(capsys):
     code = main(
-        [
-            "run",
-            "--app", "gossip-learning",
-            "--strategy", "simple",
-            "-C", "5",
-            "--nodes", "60",
-            "--periods", "15",
-            "--loss-rate", "0.2",
-        ]
+        "run --app gossip-learning --strategy simple -C 5"
+        " --nodes 60 --periods 15 --loss-rate 0.2".split()
     )
     assert code == 0
 
@@ -76,9 +55,7 @@ def test_figure_unknown_number(capsys):
 
 def test_trace_command(tmp_path, capsys):
     out_file = tmp_path / "trace.txt"
-    code = main(
-        ["trace", "--users", "150", "--hours", "24", "--out", str(out_file)]
-    )
+    code = main("trace --users 150 --hours 24 --out".split() + [str(out_file)])
     out = capsys.readouterr().out
     assert code == 0
     assert "generated" in out
@@ -112,15 +89,9 @@ def test_figure_plot_flag(capsys):
 def test_run_save_json(tmp_path, capsys):
     out_file = tmp_path / "run.json"
     code = main(
-        [
-            "run",
-            "--app", "push-gossip",
-            "--strategy", "simple",
-            "-C", "5",
-            "--nodes", "60",
-            "--periods", "15",
-            "--save", str(out_file),
-        ]
+        "run --app push-gossip --strategy simple -C 5"
+        " --nodes 60 --periods 15 --save".split()
+        + [str(out_file)]
     )
     assert code == 0
     assert out_file.exists()
@@ -130,9 +101,98 @@ def test_run_save_json(tmp_path, capsys):
     assert document["config"]["capacity"] == 5
 
 
+def test_list_command(capsys):
+    code = main(["list"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for section in ("strategies:", "applications:", "overlays:", "churn-models:"):
+        assert section in out
+    assert "randomized" in out
+    assert "flash-crowd" in out
+    assert "spend_rate" in out  # parameter schemas are printed
+
+
+def test_list_command_single_kind(capsys):
+    code = main(["list", "overlays"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "watts-strogatz" in out
+    assert "applications:" not in out
+
+
+def test_run_trace_driven_chaotic_iteration(capsys):
+    code = main(
+        "run --app chaotic-iteration --strategy randomized -A 2 -C 6"
+        " --nodes 60 --periods 10 --scenario trace".split()
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "chaotic-iteration/randomized(A=2, C=6)/trace" in out
+
+
+def test_run_lossy_watts_strogatz_push_gossip(capsys):
+    code = main(
+        "run --app push-gossip --strategy randomized -A 5 -C 10 --nodes 60"
+        " --periods 10 --overlay watts-strogatz --loss-rate 0.1".split()
+    )
+    assert code == 0
+
+
+def test_run_flash_crowd_scenario_with_churn_param(capsys):
+    code = main(
+        "run --app gossip-learning --strategy simple -C 5 --nodes 60 --periods 10"
+        " --scenario flash-crowd --churn-param base_fraction=0.5".split()
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "flash-crowd" in out
+
+
+def test_run_churn_flag_overrides_scenario_preset(capsys):
+    code = main(
+        "run --app gossip-learning --strategy simple -C 5 --nodes 60 --periods 10"
+        " --churn flash-crowd --churn-param base_fraction=0.6".split()
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "flash-crowd" in out
+
+
+def test_run_app_param_overrides(capsys):
+    code = main(
+        "run --app push-gossip --strategy simple -C 5 --nodes 60 --periods 10"
+        " --app-param inject_interval=34.56".split()
+    )
+    assert code == 0
+
+
+def test_run_rejects_unknown_app_param(capsys):
+    code = main(
+        "run --app push-gossip --strategy simple -C 5 --nodes 60 --periods 10"
+        " --app-param shininess=11".split()
+    )
+    assert code == 2
+    assert "unknown parameter" in capsys.readouterr().err
+
+
+def test_run_rejects_mistyped_app_param(capsys):
+    code = main(
+        "run --app push-gossip --strategy simple -C 5 --nodes 60 --periods 10"
+        " --app-param inject_interval=junk".split()
+    )
+    assert code == 2
+    assert "expects float" in capsys.readouterr().err
+
+
+def test_parser_rejects_unknown_overlay():
+    args = "run --app push-gossip --strategy simple -C 5 --overlay torus"
+    with pytest.raises(SystemExit):
+        main(args.split())
+
+
 def test_figure_save_csv(tmp_path, capsys):
     out_file = tmp_path / "figure1.csv"
-    code = main(["figure", "1", "--scale", "ci", "--save", str(out_file)])
+    code = main("figure 1 --scale ci --save".split() + [str(out_file)])
     assert code == 0
     assert out_file.exists()
     header = out_file.read_text().splitlines()[0]

@@ -39,11 +39,40 @@ def test_unknown_scenario_rejected():
         ExperimentConfig(app="push-gossip", strategy="proactive", scenario="mars")
 
 
-def test_chaotic_iteration_under_churn_rejected():
+def test_chaotic_iteration_under_churn_now_composes():
+    # Previously hard-rejected; the registry refactor opened the
+    # combination (the paper's figures still exclude it, see figure3).
+    config = ExperimentConfig(
+        app="chaotic-iteration", strategy="proactive", scenario="trace"
+    )
+    assert config.to_spec().churn.name == "stunner-trace"
+
+
+def test_replication_under_churn_rejected():
     with pytest.raises(ValueError, match="churn"):
         ExperimentConfig(
-            app="chaotic-iteration", strategy="proactive", scenario="trace"
+            app="replication-repair", strategy="proactive", scenario="trace"
         )
+
+
+def test_overlay_override_flows_into_spec():
+    config = ExperimentConfig(
+        app="push-gossip",
+        strategy="proactive",
+        overlay="watts-strogatz",
+        ws_degree=6,
+        ws_rewire=0.1,
+    )
+    overlay = config.to_spec().resolved_overlay()
+    assert overlay.name == "watts-strogatz"
+    assert overlay.kwargs == {"degree": 6, "rewire": 0.1}
+
+
+def test_default_overlay_follows_the_app():
+    kout = ExperimentConfig(app="push-gossip", strategy="proactive")
+    ws = ExperimentConfig(app="chaotic-iteration", strategy="proactive")
+    assert kout.to_spec().resolved_overlay().name == "kout"
+    assert ws.to_spec().resolved_overlay().name == "watts-strogatz"
 
 
 def test_invalid_strategy_parameters_fail_fast():
@@ -79,9 +108,7 @@ def test_with_overrides():
 
 
 def test_make_strategy_round_trip():
-    config = ExperimentConfig(
-        app="push-gossip", strategy="simple", capacity=7
-    )
+    config = ExperimentConfig(app="push-gossip", strategy="simple", capacity=7)
     strategy = config.make_strategy()
     assert strategy.describe() == "simple(C=7)"
 

@@ -71,9 +71,7 @@ def test_zero_loss_is_default():
 
 def test_config_loss_rate_validation():
     with pytest.raises(ValueError):
-        ExperimentConfig(
-            app="push-gossip", strategy="proactive", loss_rate=1.0
-        )
+        ExperimentConfig(app="push-gossip", strategy="proactive", loss_rate=1.0)
 
 
 def test_pure_reactive_starves_under_loss():

@@ -105,9 +105,7 @@ def test_graded_strategies_monotone_in_grade():
         GradedGeneralizedTokenAccount(3, 9),
     ):
         for balance in range(10):
-            values = [
-                strategy.reactive(balance, g) for g in (0.0, 0.2, 0.5, 0.8, 1.0)
-            ]
+            values = [strategy.reactive(balance, g) for g in (0.0, 0.2, 0.5, 0.8, 1.0)]
             assert values == sorted(values)
 
 

@@ -50,9 +50,7 @@ def test_targets_roughly_uniform():
 def test_minimum_viable_network():
     overlay = random_kout_overlay(3, 2, random.Random(1))
     for i in range(3):
-        assert sorted(overlay.out_neighbors(i)) == sorted(
-            j for j in range(3) if j != i
-        )
+        assert sorted(overlay.out_neighbors(i)) == sorted(j for j in range(3) if j != i)
 
 
 def test_invalid_parameters_rejected():

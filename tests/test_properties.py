@@ -31,9 +31,7 @@ def test_events_always_execute_in_time_order(delays):
 
 
 @given(
-    st.lists(
-        st.tuples(st.floats(0.0, 100.0), st.booleans()), min_size=1, max_size=40
-    )
+    st.lists(st.tuples(st.floats(0.0, 100.0), st.booleans()), min_size=1, max_size=40)
 )
 def test_cancellation_never_fires(events):
     sim = Simulator()
@@ -76,9 +74,7 @@ def test_merge_preserves_coverage(intervals):
     def covered(time, intervals):
         return any(i.contains(time) for i in intervals)
 
-    probes = [i.start for i in intervals] + [
-        (i.start + i.end) / 2 for i in intervals
-    ]
+    probes = [i.start for i in intervals] + [(i.start + i.end) / 2 for i in intervals]
     for probe in probes:
         assert covered(probe, intervals) == covered(probe, merged)
 

@@ -69,9 +69,7 @@ def test_generalized_useless_messages_still_spend_when_rich():
 
 
 def test_randomized_zero_balance_never_reacts():
-    system = MiniSystem(
-        RandomizedTokenAccount(2, 8), n=3, period=1000.0, useful=True
-    )
+    system = MiniSystem(RandomizedTokenAccount(2, 8), n=3, period=1000.0, useful=True)
     node = system.nodes[0]
     for _ in range(10):
         node.deliver(Message(src=1, dst=0, payload=0, kind=DATA, sent_at=0.0))

@@ -96,9 +96,7 @@ def test_injector_skips_when_all_offline():
 
 
 def test_injector_reactive_mode_triggers_sends():
-    system = pg_system(
-        SimpleTokenAccount(5), n=4, period=1000.0, initial_tokens=3
-    )
+    system = pg_system(SimpleTokenAccount(5), n=4, period=1000.0, initial_tokens=3)
     injector = UpdateInjector(
         system.sim,
         system.nodes,

@@ -18,7 +18,9 @@ def pp_system(strategy, n=3, **kwargs):
 
 
 def deliver(node, payload, src=1):
-    node.deliver(Message(src=src, dst=node.node_id, payload=payload, kind="data", sent_at=0.0))
+    node.deliver(
+        Message(src=src, dst=node.node_id, payload=payload, kind="data", sent_at=0.0)
+    )
 
 
 def test_fresher_push_adopted_no_reply():

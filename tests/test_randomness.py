@@ -18,7 +18,9 @@ def test_different_names_differ():
 
 
 def test_different_roots_differ():
-    assert RandomStreams(1).stream("x").random() != RandomStreams(2).stream("x").random()
+    a = RandomStreams(1).stream("x").random()
+    b = RandomStreams(2).stream("x").random()
+    assert a != b
 
 
 def test_multipart_names():

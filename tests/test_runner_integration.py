@@ -194,8 +194,9 @@ def test_run_averaged_validates_repeats():
 
 def test_chaotic_iteration_runs_end_to_end():
     result = run_experiment(
-        small_config(app="chaotic-iteration", strategy="generalized",
-                     spend_rate=5, capacity=10)
+        small_config(
+            app="chaotic-iteration", strategy="generalized", spend_rate=5, capacity=10
+        )
     )
     assert not result.metric.empty
     # Angle decreases over the run.

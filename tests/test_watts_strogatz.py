@@ -12,9 +12,7 @@ def test_zero_rewiring_gives_exact_ring_lattice():
     n, k = 20, 4
     overlay = watts_strogatz_overlay(n, k, 0.0, random.Random(1))
     for i in range(n):
-        expected = sorted(
-            {(i + off) % n for off in (-2, -1, 1, 2)}
-        )
+        expected = sorted({(i + off) % n for off in (-2, -1, 1, 2)})
         assert sorted(overlay.out_neighbors(i)) == expected
 
 

@@ -1,0 +1,96 @@
+"""Tier-1 regression: suite results are bit-identical for any worker count.
+
+The PR 1 determinism contract — cell results depend only on each cell's
+config, never on scheduling — must survive the registry refactor. This
+runs one small mixed suite (several apps, strategies, scenarios,
+including the newly opened combinations) through ``REPRO_WORKERS=1`` and
+``REPRO_WORKERS=4`` and asserts the per-cell payloads match exactly.
+
+Where process pools are unavailable the 4-worker run falls back to
+serial execution; the assertion then still guards the fallback path.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.suite import ExperimentSuite, SuiteRunner
+from repro.scenarios import ComponentRef, NetworkSpec, ScenarioSpec
+
+SMALL = dict(n=60, periods=10)
+
+
+def _mixed_suite() -> ExperimentSuite:
+    cells = [
+        ExperimentConfig(
+            app="push-gossip",
+            strategy="randomized",
+            spend_rate=5,
+            capacity=10,
+            seed=3,
+            **SMALL,
+        ),
+        ExperimentConfig(
+            app="gossip-learning",
+            strategy="simple",
+            capacity=5,
+            seed=4,
+            collect_tokens=True,
+            **SMALL,
+        ),
+        ExperimentConfig(
+            app="chaotic-iteration",
+            strategy="generalized",
+            spend_rate=2,
+            capacity=6,
+            seed=5,
+            **SMALL,
+        ),
+        ExperimentConfig(
+            app="push-gossip",
+            strategy="simple",
+            capacity=4,
+            scenario="trace",
+            seed=6,
+            **SMALL,
+        ),
+        # The newly opened combinations, as declarative specs.
+        ScenarioSpec(
+            app=ComponentRef.of("chaotic-iteration"),
+            strategy=ComponentRef.of("randomized", spend_rate=2, capacity=6),
+            churn=ComponentRef("stunner-trace"),
+            seed=7,
+            **SMALL,
+        ),
+        ScenarioSpec(
+            app=ComponentRef.of("push-gossip"),
+            strategy=ComponentRef.of("randomized", spend_rate=5, capacity=10),
+            overlay=ComponentRef.of("watts-strogatz"),
+            network=NetworkSpec(loss_rate=0.1),
+            seed=8,
+            **SMALL,
+        ),
+        ScenarioSpec(
+            app=ComponentRef.of("gossip-learning"),
+            strategy=ComponentRef.of("simple", capacity=5),
+            churn=ComponentRef("flash-crowd"),
+            seed=9,
+            **SMALL,
+        ),
+    ]
+    return ExperimentSuite.from_configs("worker-determinism", cells)
+
+
+def test_one_and_four_workers_produce_identical_cells():
+    suite = _mixed_suite()
+    serial = SuiteRunner(workers=1).run(suite)
+    pooled = SuiteRunner(workers=4).run(suite)
+    assert len(serial.cells) == len(pooled.cells) == len(suite)
+    for cell_serial, cell_pooled in zip(serial.cells, pooled.cells):
+        a, b = cell_serial.result, cell_pooled.result
+        assert a.label == b.label
+        assert a.metric.times == b.metric.times
+        assert a.metric.values == b.metric.values
+        assert a.data_messages == b.data_messages
+        assert a.network.sent == b.network.sent
+        assert a.network.delivered == b.network.delivered
+        if a.tokens is not None:
+            assert b.tokens is not None
+            assert a.tokens.values == b.tokens.values
