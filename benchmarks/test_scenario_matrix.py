@@ -6,7 +6,7 @@ application is crossed with every scenario preset its plugin supports
 the legacy harness could not express (lossy small-world push gossip,
 jittered heterogeneous-period gossip learning). The cells run as one
 parallel suite and the per-scenario engine throughput (events/sec) lands
-in ``BENCH_scenarios.json``, which CI uploads next to ``BENCH_suite.json``
+in ``artifacts/BENCH_scenarios.json``, which CI uploads next to ``BENCH_suite.json``
 so the scenario matrix is both smoke-tested and performance-tracked
 from PR to PR.
 
@@ -31,8 +31,9 @@ from repro.scenarios import (
     ScenarioSpec,
 )
 
-#: where the bench artifact lands (repo root by default; CI uploads it)
-ARTIFACT = Path(os.environ.get("REPRO_BENCH_DIR", ".")) / "BENCH_scenarios.json"
+#: where the bench artifact lands (the gitignored ``artifacts/``
+#: directory by default; CI uploads everything under it)
+ARTIFACT = Path(os.environ.get("REPRO_BENCH_DIR", "artifacts")) / "BENCH_scenarios.json"
 
 
 def _matrix_specs(scale) -> list:
@@ -121,6 +122,7 @@ def test_scenario_matrix_smoke_artifact(benchmark, scale):
         "events_per_second": result.events_per_second,
         "cells_per_second": result.cells_per_second,
     }
+    ARTIFACT.parent.mkdir(parents=True, exist_ok=True)
     ARTIFACT.write_text(json.dumps(document, indent=2), encoding="utf-8")
 
     print(f"\nscenario matrix ({len(suite)} cells, {result.workers} workers):")

@@ -1,0 +1,75 @@
+"""Result-store cache bench: cold run vs warm (fully cached) rerun.
+
+Runs one sweep suite twice through a fresh content-addressed store — a
+cold pass that simulates and persists every cell, then a warm pass that
+must serve every cell from disk — and records both wall times plus the
+warm-over-cold speedup in ``artifacts/BENCH_store.json``. CI uploads the
+artifact, so the cache-path overhead (hashing + pickling) is tracked
+from PR to PR alongside the raw suite throughput.
+
+The determinism assertions double as the acceptance check for the store
+layer at bench scale: the warm pass simulates zero cells and reproduces
+every metric bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.experiments.suite import SuiteRunner
+from repro.experiments.sweep import sweep_suite
+from repro.store import ResultStore
+
+#: where the bench artifact lands (the gitignored ``artifacts/``
+#: directory by default; CI uploads everything under it)
+ARTIFACT = Path(os.environ.get("REPRO_BENCH_DIR", "artifacts")) / "BENCH_store.json"
+
+
+def test_store_cache_speedup_artifact(benchmark, scale):
+    suite, _ = sweep_suite("gossip-learning", "randomized", scale=scale)
+    with tempfile.TemporaryDirectory(prefix="repro-store-bench") as root:
+        store = ResultStore(root)
+        cold = SuiteRunner(workers=1, store=store).run(suite)
+        warm = benchmark.pedantic(
+            lambda: SuiteRunner(workers=1, store=store).run(suite),
+            rounds=1,
+            iterations=1,
+        )
+        entry_bytes = sum(
+            path.stat().st_size for path in store.entries_dir.glob("*.pkl")
+        )
+
+    assert cold.cache_hits == 0
+    assert cold.simulated_cells == len(suite)
+    assert warm.cache_hits == len(suite)
+    assert warm.simulated_cells == 0
+    cold_finals = [result.metric.final() for result in cold.results()]
+    warm_finals = [result.metric.final() for result in warm.results()]
+    assert cold_finals == warm_finals
+
+    speedup = cold.wall_seconds / warm.wall_seconds if warm.wall_seconds else 0.0
+    document = {
+        "format": "repro-bench-store-v1",
+        "suite": suite.name,
+        "cells": len(suite),
+        "scale": scale.label,
+        "cold_wall_seconds": cold.wall_seconds,
+        "warm_wall_seconds": warm.wall_seconds,
+        "warm_speedup": speedup,
+        "warm_cells_per_second": warm.cells_per_second,
+        "store_bytes": entry_bytes,
+        "store_bytes_per_cell": entry_bytes / len(suite),
+    }
+    ARTIFACT.parent.mkdir(parents=True, exist_ok=True)
+    ARTIFACT.write_text(json.dumps(document, indent=2), encoding="utf-8")
+
+    print(f"\nresult-store cache ({len(suite)} cells):")
+    print(f"  cold (simulate + persist): {cold.wall_seconds:7.2f}s")
+    print(f"  warm (all cache hits):     {warm.wall_seconds:7.2f}s")
+    print(f"  speedup: {speedup:.1f}x  (artifact: {ARTIFACT})")
+
+    # A warm run must beat re-simulating by a wide margin at any scale.
+    assert speedup > 2.0, f"warm store rerun only {speedup:.2f}x faster"

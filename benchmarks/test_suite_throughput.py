@@ -4,7 +4,7 @@ This bench runs the thinned §4.2 sweep grid twice — serially and through
 the :class:`~repro.experiments.suite.SuiteRunner` process pool — and
 records the measured engine throughput (events per wall-clock second),
 cell throughput, and the parallel-over-serial wall-clock speedup into
-``BENCH_suite.json``. The artifact is uploaded by CI so the performance
+``artifacts/BENCH_suite.json``. The artifact is uploaded by CI so the performance
 trajectory is tracked from PR to PR.
 
 The ≥2x speedup assertion only arms when ``REPRO_BENCH_STRICT=1`` is
@@ -25,8 +25,9 @@ from repro.experiments.scale import worker_count
 from repro.experiments.suite import SuiteRunner
 from repro.experiments.sweep import sweep_suite
 
-#: where the bench artifact lands (repo root by default; CI uploads it)
-ARTIFACT = Path(os.environ.get("REPRO_BENCH_DIR", ".")) / "BENCH_suite.json"
+#: where the bench artifact lands (the gitignored ``artifacts/``
+#: directory by default; CI uploads everything under it)
+ARTIFACT = Path(os.environ.get("REPRO_BENCH_DIR", "artifacts")) / "BENCH_suite.json"
 
 #: cores needed before the speedup assertion arms
 SPEEDUP_ASSERT_CORES = 4
@@ -83,6 +84,7 @@ def test_suite_throughput_artifact(benchmark, scale):
             else 0.0
         ),
     }
+    ARTIFACT.parent.mkdir(parents=True, exist_ok=True)
     ARTIFACT.write_text(json.dumps(document, indent=2), encoding="utf-8")
 
     print(f"\nsuite throughput ({len(suite)} cells, {cores} cores):")

@@ -15,17 +15,23 @@ demo averages each strategy over three independent seeds.
 
 Run:  python examples/chaotic_power_iteration.py   (~40 s)
 
+Set ``REPRO_EXAMPLE_TINY=1`` to run a seconds-long miniature of the
+demo (used by the examples smoke test).
+
 The settings follow §4.2: "A = 10, C = 10 ... is the best in gossip
 learning and chaotic iteration".
 """
 
-from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_averaged
-from repro.experiments.report import time_to_threshold_speedups
+import os
 
-N = 300
-PERIODS = 250
-REPEATS = 3
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import time_to_threshold_speedups
+from repro.experiments.runner import run_averaged
+
+TINY = os.environ.get("REPRO_EXAMPLE_TINY") == "1"
+N = 80 if TINY else 300
+PERIODS = 40 if TINY else 250
+REPEATS = 2 if TINY else 3
 CHECKPOINT_FRACTIONS = (0.125, 0.25, 0.5, 1.0)
 
 

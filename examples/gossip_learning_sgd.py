@@ -14,8 +14,12 @@ account and reports, over time, (a) the walk-speed metric of the paper
 — showing that faster walks translate into faster learning.
 
 Run:  python examples/gossip_learning_sgd.py
+
+Set ``REPRO_EXAMPLE_TINY=1`` to run a seconds-long miniature of the
+demo (used by the examples smoke test).
 """
 
+import os
 import random
 
 from repro.apps.gossip_learning import GossipLearningApp, GossipLearningMetric
@@ -28,10 +32,11 @@ from repro.sim.engine import Simulator
 from repro.sim.network import Network
 from repro.sim.randomness import RandomStreams
 
-N = 150
+TINY = os.environ.get("REPRO_EXAMPLE_TINY") == "1"
+N = 50 if TINY else 150
 PERIOD = 172.8
 TRANSFER = 1.728
-ROUNDS = 120
+ROUNDS = 25 if TINY else 120
 DIMENSION = 5
 
 

@@ -11,9 +11,18 @@ baseline while spending the *same* message budget — one message per node
 per round, with bursts bounded by the token capacity C.
 
 Run:  python examples/quickstart.py
+
+Set ``REPRO_EXAMPLE_TINY=1`` to run a seconds-long miniature of the
+demo (used by the examples smoke test).
 """
 
+import os
+
 from repro import ExperimentConfig, run_experiment
+
+TINY = os.environ.get("REPRO_EXAMPLE_TINY") == "1"
+N = 80 if TINY else 500
+PERIODS = 30 if TINY else 150
 
 SETTINGS = [
     # (label, strategy, A, C)
@@ -25,7 +34,7 @@ SETTINGS = [
 
 
 def main() -> None:
-    print("push gossip over a 500-node random 20-out overlay, 150 rounds")
+    print(f"push gossip over a {N}-node random 20-out overlay, {PERIODS} rounds")
     print(f"{'strategy':42s} {'avg lag':>9s} {'msgs/node/round':>16s}")
     print("-" * 70)
     for label, strategy, spend_rate, capacity in SETTINGS:
@@ -34,8 +43,8 @@ def main() -> None:
             strategy=strategy,
             spend_rate=spend_rate,
             capacity=capacity,
-            n=500,
-            periods=150,
+            n=N,
+            periods=PERIODS,
             seed=42,
         )
         result = run_experiment(config)

@@ -15,13 +15,19 @@ replication factor 3; at hour 8 a correlated burst permanently destroys
 time for three repair policies.
 
 Run:  python examples/replication_repair.py
+
+Set ``REPRO_EXAMPLE_TINY=1`` to run a seconds-long miniature of the
+demo (used by the examples smoke test).
 """
+
+import os
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_experiment
 
-N = 250
-PERIODS = 100
+TINY = os.environ.get("REPRO_EXAMPLE_TINY") == "1"
+N = 80 if TINY else 250
+PERIODS = 50 if TINY else 100
 BURST = (0.3, 0.32)  # fractions of the run: a ~1-hour failure window
 
 

@@ -13,8 +13,12 @@ Reproduces the §4.1/Figure 3 scenario end to end at demo scale:
    message budget (nodes only earn tokens while online).
 
 Run:  python examples/smartphone_trace_broadcast.py
+
+Set ``REPRO_EXAMPLE_TINY=1`` to run a seconds-long miniature of the
+demo (used by the examples smoke test).
 """
 
+import os
 import random
 
 from repro.churn.stats import online_fraction, trace_summary
@@ -22,15 +26,17 @@ from repro.churn.stunner import StunnerTraceConfig, generate_stunner_like_trace
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_experiment
 
-N = 400
-PERIODS = 150
+TINY = os.environ.get("REPRO_EXAMPLE_TINY") == "1"
+N = 60 if TINY else 400
+PERIODS = 25 if TINY else 150
+TRACE_PREVIEW_USERS = 300 if TINY else 2000
 
 
 def print_trace_preview() -> None:
     config = StunnerTraceConfig()
-    trace = generate_stunner_like_trace(2000, random.Random(1), config)
+    trace = generate_stunner_like_trace(TRACE_PREVIEW_USERS, random.Random(1), config)
     summary = trace_summary(trace)
-    print("synthetic STUNner-like trace (2000 users, 48h):")
+    print(f"synthetic STUNner-like trace ({TRACE_PREVIEW_USERS} users, 48h):")
     print(f"  {summary}")
     print("  online fraction by hour (GMT):")
     hours = range(0, 48, 3)

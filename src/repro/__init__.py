@@ -31,7 +31,9 @@ Package map:
   iteration;
 * :mod:`repro.metrics` — the paper's performance metrics and collectors;
 * :mod:`repro.experiments` — scenario assembly, figure harnesses,
-  parameter sweeps, reporting.
+  parameter sweeps, reporting;
+* :mod:`repro.store` — content-addressed result store (memoized cells,
+  resumable suites, offline ``repro report``).
 """
 
 from repro.core import (
@@ -54,6 +56,7 @@ from repro.core import (
 from repro.experiments import ExperimentConfig, run_experiment
 from repro.registry import applications, churn_models, overlays, strategies
 from repro.scenarios import ComponentRef, NetworkSpec, ScenarioSpec
+from repro.store import ResultStore
 
 __version__ = "1.0.0"
 
@@ -62,6 +65,7 @@ __all__ = [
     "ComponentRef",
     "ExperimentConfig",
     "NetworkSpec",
+    "ResultStore",
     "ScenarioSpec",
     "applications",
     "churn_models",

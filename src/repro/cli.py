@@ -9,8 +9,17 @@ Gives shell access to the main library entry points:
 * ``sweep`` — the §4.2 parameter-space exploration;
 * ``suite`` — the full multi-strategy sweep as one parallel suite with
   per-cell progress/ETA and a JSON artifact;
+* ``report`` — rebuild figures or suite tables purely from a result
+  store, simulating nothing (``repro report figure 2 --store runs/``);
+* ``store`` — inspect (``ls``), prune (``gc``) or compare (``diff``)
+  content-addressed result stores;
 * ``trace`` — generate a synthetic STUNner-like availability trace to a
   file and print its Figure-1 statistics.
+
+Passing ``--store PATH`` (or setting ``REPRO_STORE``) to ``run`` /
+``figure`` / ``sweep`` / ``suite`` memoizes every simulated cell: reruns
+skip cached cells bit-identically, and a killed suite resumes from the
+cells it already finished.
 
 Every choice list (``--app``, ``--strategy``, ``--overlay``,
 ``--scenario``) is derived from the component registries
@@ -47,7 +56,7 @@ from repro.churn.stunner import StunnerTraceConfig, generate_stunner_like_trace
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import format_series_table
 from repro.experiments.runner import run_experiment
-from repro.experiments.scale import ScalePreset, current_scale
+from repro.experiments.scale import ScalePreset, current_scale, scale_names
 from repro.experiments.sweep import sweepable_strategies
 from repro.registry import (
     ALL_REGISTRIES,
@@ -58,6 +67,7 @@ from repro.registry import (
 )
 from repro.scenarios import SCENARIOS, ComponentRef
 from repro.sim.randomness import RandomStreams
+from repro.store import ResultStore, StoreMissError, diff_stores, resolve_store
 
 
 def _parse_component_param(text: str) -> tuple:
@@ -70,6 +80,19 @@ def _parse_component_param(text: str) -> tuple:
     except (ValueError, SyntaxError):
         value = raw  # plain strings may be spelled without quotes
     return key, value
+
+
+def _add_store_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "content-addressed result store: reuse cached cells, persist "
+            "new ones (default: the REPRO_STORE environment variable)"
+        ),
+    )
 
 
 def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
@@ -173,7 +196,7 @@ def _command_run(args: argparse.Namespace) -> int:
             )
         target = spec
     print(f"running {target.label()} (N={config.n}, periods={config.periods})")
-    result = run_experiment(target)
+    result = run_experiment(target, store=resolve_store(args.store))
     print(format_series_table({config.strategy: result.metric}, rows=15))
     print()
     print(result.summary())
@@ -218,31 +241,54 @@ def _resolve_scale(name: Optional[str]) -> ScalePreset:
     return current_scale()
 
 
-def _command_figure(args: argparse.Namespace) -> int:
+def _figure_data(args: argparse.Namespace, offline: bool = False):
+    """Compute (or, for reports, replay) one figure's data; None on usage error.
+
+    ``offline=True`` is the ``repro report`` path: every simulation cell
+    must come from the store, otherwise :class:`StoreMissError` escapes
+    to the caller.
+    """
     from repro.experiments import figures
-    from repro.experiments.report import format_messages_per_node
 
     scale = _resolve_scale(args.scale)
+    store = resolve_store(args.store)
     number = args.number
     if number == 1:
-        data = figures.figure1(scale=scale, seed=args.seed)
-    elif number in (2, 3, 4):
+        # Figure 1 is pure trace statistics — it has no simulation cells,
+        # so it needs no store even in offline report mode.
+        return figures.figure1(scale=scale, seed=args.seed)
+    if offline and store is None:
+        raise ValueError("repro report needs --store (or REPRO_STORE) for figures 2-5")
+    if number in (2, 3, 4):
         if args.app is None:
             print("--app is required for figures 2-4", file=sys.stderr)
-            return 2
+            return None
         builder = {2: figures.figure2, 3: figures.figure3, 4: figures.figure4}[number]
-        data = builder(
+        return builder(
             args.app,
             scale=scale,
             seed=args.seed,
             quick=args.quick,
             workers=args.workers,
+            store=store,
+            offline=offline,
         )
-    elif number == 5:
-        data = figures.figure5(scale=scale, seed=args.seed, workers=args.workers)
-    else:
-        print(f"unknown figure {number}; the paper has figures 1-5", file=sys.stderr)
-        return 2
+    if number == 5:
+        return figures.figure5(
+            scale=scale,
+            seed=args.seed,
+            workers=args.workers,
+            store=store,
+            offline=offline,
+        )
+    print(f"unknown figure {number}; the paper has figures 1-5", file=sys.stderr)
+    return None
+
+
+def _print_figure(data, args: argparse.Namespace) -> int:
+    """Shared ``figure`` / ``report figure`` rendering path."""
+    from repro.experiments.report import format_messages_per_node
+
     print(f"{data.name}: {data.description}")
     print(f"scale: {data.scale_label}\n")
     print(format_series_table(data.series, rows=args.rows))
@@ -272,6 +318,13 @@ def _command_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_figure(args: argparse.Namespace) -> int:
+    data = _figure_data(args)
+    if data is None:
+        return 2
+    return _print_figure(data, args)
+
+
 def _command_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.sweep import format_sweep_table, run_sweep
 
@@ -283,6 +336,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         scenario=args.scenario,
         workers=args.workers,
+        store=resolve_store(args.store),
     )
     higher_is_better = args.app == "gossip-learning"
     print(
@@ -293,20 +347,16 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_suite(args: argparse.Namespace) -> int:
-    from repro.experiments.suite import (
-        ExperimentSuite,
-        SuiteRunner,
-        print_progress,
-        worker_count,
-    )
-    from repro.experiments.sweep import (
-        cells_from_results,
-        format_sweep_table,
-        sweep_suite,
-    )
+def _suite_bundle(args: argparse.Namespace, scale: ScalePreset):
+    """The multi-strategy suite bundle behind ``suite`` and ``report suite``.
 
-    scale = _resolve_scale(args.scale)
+    Returns ``(bundle, strategies_chosen, coordinate_map, parts)`` where
+    ``coordinate_map`` maps each strategy to its (offset, coordinates)
+    slice of the bundle.
+    """
+    from repro.experiments.suite import ExperimentSuite
+    from repro.experiments.sweep import sweep_suite
+
     strategies_chosen = args.strategies or ["simple", "generalized", "randomized"]
     # Dedupe while preserving order: a repeated strategy would re-run its
     # cells and corrupt the per-strategy result slices below.
@@ -328,21 +378,15 @@ def _command_suite(args: argparse.Namespace) -> int:
         all_configs,
         description=f"{args.app} / {args.scenario}: " + " + ".join(parts),
     )
-    workers = worker_count(args.workers)
-    print(
-        f"suite {bundle.name}: {len(bundle)} cells "
-        f"[{', '.join(parts)}] at scale {scale.name} with {workers} worker(s)"
-    )
-    runner = SuiteRunner(
-        workers=workers, progress=print_progress if not args.quiet else None
-    )
-    suite_result = runner.run(bundle)
-    if suite_result.serial_fallback_reason is not None:
-        print(
-            f"note: fell back to serial execution "
-            f"({suite_result.serial_fallback_reason}); "
-            f"process pools need fork support"
-        )
+    return bundle, strategies_chosen, coordinate_map, parts
+
+
+def _print_suite_tables(
+    args: argparse.Namespace, suite_result, strategies_chosen, coordinate_map
+) -> None:
+    """Per-strategy (A, C) tables plus the one-line suite digest."""
+    from repro.experiments.sweep import cells_from_results, format_sweep_table
+
     higher_is_better = args.app == "gossip-learning"
     for strategy in strategies_chosen:
         start, coordinates = coordinate_map[strategy]
@@ -354,11 +398,102 @@ def _command_suite(args: argparse.Namespace) -> int:
         print(f"\n{args.app} / {strategy}:")
         print(format_sweep_table(cells, higher_is_better=higher_is_better))
     print(f"\n{suite_result.summary()}")
+
+
+def _command_suite(args: argparse.Namespace) -> int:
+    from repro.experiments.suite import SuiteRunner, print_progress, worker_count
+
+    scale = _resolve_scale(args.scale)
+    bundle, strategies_chosen, coordinate_map, parts = _suite_bundle(args, scale)
+    workers = worker_count(args.workers)
+    store = resolve_store(args.store)
+    store_note = f", store {store.root}" if store is not None else ""
+    print(
+        f"suite {bundle.name}: {len(bundle)} cells "
+        f"[{', '.join(parts)}] at scale {scale.name} with {workers} "
+        f"worker(s){store_note}"
+    )
+    runner = SuiteRunner(
+        workers=workers,
+        progress=print_progress if not args.quiet else None,
+        store=store,
+    )
+    suite_result = runner.run(bundle)
+    if suite_result.serial_fallback_reason is not None:
+        print(
+            f"note: fell back to serial execution "
+            f"({suite_result.serial_fallback_reason}); "
+            f"process pools need fork support"
+        )
+    if store is not None:
+        print(
+            f"store: {suite_result.cache_hits} cache hit(s), "
+            f"{suite_result.simulated_cells} simulated"
+        )
+    _print_suite_tables(args, suite_result, strategies_chosen, coordinate_map)
     if args.save:
         from repro.experiments.export import save_suite
 
         save_suite(suite_result, args.save)
         print(f"saved to {args.save}")
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    """Rebuild figures / suite tables purely from the result store."""
+    try:
+        if args.target == "figure":
+            data = _figure_data(args, offline=True)
+            if data is None:
+                return 2
+            print("(report: rebuilt from the result store, zero cells simulated)")
+            return _print_figure(data, args)
+        # target == "suite"
+        from repro.experiments.suite import SuiteRunner
+
+        store = resolve_store(args.store)
+        if store is None:
+            raise ValueError("repro report needs --store (or REPRO_STORE)")
+        scale = _resolve_scale(args.scale)
+        bundle, strategies_chosen, coordinate_map, parts = _suite_bundle(args, scale)
+        runner = SuiteRunner(workers=1, store=store, offline=True)
+        suite_result = runner.run(bundle)
+        print(
+            f"report {bundle.name}: {len(bundle)} cells [{', '.join(parts)}] "
+            f"from store {store.root} (zero cells simulated)"
+        )
+        _print_suite_tables(args, suite_result, strategies_chosen, coordinate_map)
+        if args.save:
+            from repro.experiments.export import save_suite
+
+            save_suite(suite_result, args.save)
+            print(f"saved to {args.save}")
+        return 0
+    except StoreMissError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    """Inspect (``ls``), prune (``gc``) or compare (``diff``) stores."""
+    from repro.experiments.report import format_store_diff, format_store_entries
+
+    if args.action == "diff":
+        left, right = ResultStore(args.left), ResultStore(args.right)
+        report = diff_stores(left, right)
+        print(format_store_diff(report, str(left.root), str(right.root)))
+        return 1 if report["differing"] else 0
+    store = resolve_store(args.store)
+    if store is None:
+        raise ValueError(f"repro store {args.action} needs --store (or REPRO_STORE)")
+    if args.action == "ls":
+        entries = list(store.entries())
+        print(f"store {store.root}: {len(entries)} entr(y/ies)")
+        print(format_store_entries(entries))
+        return 0
+    # action == "gc"
+    removed, kept = store.gc(remove_all=args.all)
+    print(f"store {store.root}: removed {removed} entr(y/ies), kept {kept}")
     return 0
 
 
@@ -385,6 +520,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = commands.add_parser("run", help="run one experiment")
     _add_experiment_arguments(run_parser)
+    _add_store_argument(run_parser)
     run_parser.set_defaults(handler=_command_run)
 
     list_parser = commands.add_parser(
@@ -402,9 +538,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser = commands.add_parser("figure", help="regenerate a paper figure")
     figure_parser.add_argument("number", type=int, help="figure number (1-5)")
     figure_parser.add_argument("--app", choices=applications.names(), default=None)
-    figure_parser.add_argument(
-        "--scale", choices=("ci", "medium", "paper"), default=None
-    )
+    figure_parser.add_argument("--scale", choices=scale_names(), default=None)
     figure_parser.add_argument("--seed", type=int, default=1)
     figure_parser.add_argument("--rows", type=int, default=12)
     figure_parser.add_argument(
@@ -429,6 +563,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes (default: REPRO_WORKERS or the CPU count)",
     )
+    _add_store_argument(figure_parser)
     figure_parser.set_defaults(handler=_command_figure)
 
     sweep_parser = commands.add_parser("sweep", help="§4.2 parameter sweep")
@@ -437,9 +572,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy", required=True, choices=sweepable_strategies()
     )
     sweep_parser.add_argument("--scenario", choices=SCENARIOS, default="failure-free")
-    sweep_parser.add_argument(
-        "--scale", choices=("ci", "medium", "paper"), default=None
-    )
+    sweep_parser.add_argument("--scale", choices=scale_names(), default=None)
     sweep_parser.add_argument("--seed", type=int, default=1)
     sweep_parser.add_argument(
         "--workers",
@@ -447,6 +580,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes (default: REPRO_WORKERS or the CPU count)",
     )
+    _add_store_argument(sweep_parser)
     sweep_parser.set_defaults(handler=_command_sweep)
 
     suite_parser = commands.add_parser(
@@ -462,9 +596,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="strategies to include (default: simple, generalized, randomized)",
     )
     suite_parser.add_argument("--scenario", choices=SCENARIOS, default="failure-free")
-    suite_parser.add_argument(
-        "--scale", choices=("ci", "medium", "paper"), default=None
-    )
+    suite_parser.add_argument("--scale", choices=scale_names(), default=None)
     suite_parser.add_argument("--seed", type=int, default=1)
     suite_parser.add_argument(
         "--workers",
@@ -482,7 +614,88 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the suite result document to FILE (.json)",
     )
+    _add_store_argument(suite_parser)
     suite_parser.set_defaults(handler=_command_suite)
+
+    report_parser = commands.add_parser(
+        "report",
+        help="rebuild figures / suite tables from a result store (no simulation)",
+    )
+    report_targets = report_parser.add_subparsers(dest="target", required=True)
+
+    report_figure = report_targets.add_parser(
+        "figure", help="rebuild a paper figure from stored cells"
+    )
+    report_figure.add_argument("number", type=int, help="figure number (1-5)")
+    report_figure.add_argument("--app", choices=applications.names(), default=None)
+    report_figure.add_argument("--scale", choices=scale_names(), default=None)
+    report_figure.add_argument("--seed", type=int, default=1)
+    report_figure.add_argument("--rows", type=int, default=12)
+    report_figure.add_argument(
+        "--quick", action="store_true", help="thinned strategy selection"
+    )
+    report_figure.add_argument(
+        "--plot", action="store_true", help="render an ASCII chart of the series"
+    )
+    report_figure.add_argument(
+        "--log", action="store_true", help="log-scale the chart's value axis"
+    )
+    report_figure.add_argument(
+        "--save",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write the figure data to FILE (.json/.csv)",
+    )
+    report_figure.set_defaults(handler=_command_report, workers=1)
+    _add_store_argument(report_figure)
+
+    report_suite = report_targets.add_parser(
+        "suite", help="rebuild the multi-strategy sweep tables from stored cells"
+    )
+    report_suite.add_argument("--app", required=True, choices=applications.names())
+    report_suite.add_argument(
+        "--strategies",
+        nargs="+",
+        choices=sweepable_strategies(),
+        default=None,
+        help="strategies to include (default: simple, generalized, randomized)",
+    )
+    report_suite.add_argument("--scenario", choices=SCENARIOS, default="failure-free")
+    report_suite.add_argument("--scale", choices=scale_names(), default=None)
+    report_suite.add_argument("--seed", type=int, default=1)
+    report_suite.add_argument(
+        "--save",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write the suite result document to FILE (.json)",
+    )
+    report_suite.set_defaults(handler=_command_report)
+    _add_store_argument(report_suite)
+
+    store_parser = commands.add_parser(
+        "store", help="inspect, prune or compare result stores"
+    )
+    store_actions = store_parser.add_subparsers(dest="action", required=True)
+
+    store_ls = store_actions.add_parser("ls", help="list stored cells")
+    _add_store_argument(store_ls)
+    store_ls.set_defaults(handler=_command_store)
+
+    store_gc = store_actions.add_parser(
+        "gc", help="remove stale-schema and unreadable entries"
+    )
+    store_gc.add_argument("--all", action="store_true", help="clear the store entirely")
+    _add_store_argument(store_gc)
+    store_gc.set_defaults(handler=_command_store)
+
+    store_diff = store_actions.add_parser(
+        "diff", help="compare two stores' grids cell by cell"
+    )
+    store_diff.add_argument("left", metavar="STORE_A")
+    store_diff.add_argument("right", metavar="STORE_B")
+    store_diff.set_defaults(handler=_command_store)
 
     trace_parser = commands.add_parser(
         "trace", help="generate a synthetic smartphone trace"

@@ -21,7 +21,7 @@ injection per 17.28 s for push gossip, zero initial tokens.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 from typing import Optional
 
 from repro.core.strategies import Strategy, make_strategy
@@ -235,3 +235,14 @@ class ExperimentConfig:
     def with_overrides(self, **overrides) -> "ExperimentConfig":
         """A copy with the given fields replaced."""
         return replace(self, **overrides)
+
+    def canonical_dict(self) -> dict:
+        """A canonical, JSON-ready identity dict for content hashing.
+
+        Mirrors :meth:`repro.scenarios.ScenarioSpec.canonical_dict`: the
+        result store keys flat legacy configs by their own fields (not
+        by the compiled spec), so the two surfaces never share cache
+        entries — a hit always returns a result whose ``config`` field
+        is bit-identical to the one requested.
+        """
+        return {"kind": type(self).__name__, "fields": asdict(self)}

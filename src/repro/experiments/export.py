@@ -167,6 +167,7 @@ def suite_to_dict(result: SuiteResult) -> dict:
                 "seed": cell.config.seed,
                 "wall_seconds": cell.wall_seconds,
                 "events_processed": cell.events_processed,
+                "cached": cell.cached,
                 "result": payload,
             }
         )
@@ -175,6 +176,8 @@ def suite_to_dict(result: SuiteResult) -> dict:
         "name": result.suite_name,
         "workers": result.workers,
         "serial_fallback_reason": result.serial_fallback_reason,
+        "cache_hits": result.cache_hits,
+        "simulated_cells": result.simulated_cells,
         "wall_seconds": result.wall_seconds,
         "total_cell_seconds": result.total_cell_seconds,
         "virtual_seconds": result.virtual_seconds,

@@ -95,6 +95,8 @@ def _run_selection(
     seed: int,
     smooth: Optional[float] = None,
     workers: Optional[int] = None,
+    store=None,
+    offline: bool = False,
 ) -> tuple[Dict[str, TimeSeries], Dict[str, float]]:
     """Run one app/scenario over a parameter selection.
 
@@ -125,7 +127,7 @@ def _run_selection(
         ],
         description=f"{app} / {scenario}: {len(selection)} curves x {repeats} seeds",
     ).repeated(repeats)
-    results = run_suite(suite, workers=workers).results()
+    results = run_suite(suite, workers=workers, store=store, offline=offline).results()
     series: Dict[str, TimeSeries] = {}
     rates: Dict[str, float] = {}
     for group, (strategy, a, c) in enumerate(selection):
@@ -187,6 +189,8 @@ def figure2(
     seed: int = 1,
     quick: bool = False,
     workers: Optional[int] = None,
+    store=None,
+    offline: bool = False,
 ) -> FigureData:
     """Figure 2: token account strategies, failure-free, N = 5,000.
 
@@ -207,6 +211,8 @@ def figure2(
         seed,
         smooth=smooth,
         workers=workers,
+        store=store,
+        offline=offline,
     )
     return FigureData(
         name=f"figure2-{app}",
@@ -226,6 +232,8 @@ def figure3(
     seed: int = 1,
     quick: bool = False,
     workers: Optional[int] = None,
+    store=None,
+    offline: bool = False,
 ) -> FigureData:
     """Figure 3: strategies over the smartphone trace (gossip learning and
     push gossip only; the paper's Figure 3 excludes chaotic iteration —
@@ -247,6 +255,8 @@ def figure3(
         seed,
         smooth=smooth,
         workers=workers,
+        store=store,
+        offline=offline,
     )
     return FigureData(
         name=f"figure3-{app}",
@@ -266,6 +276,8 @@ def figure4(
     seed: int = 1,
     quick: bool = False,
     workers: Optional[int] = None,
+    store=None,
+    offline: bool = False,
 ) -> FigureData:
     """Figure 4: scalability run at the large network size.
 
@@ -294,6 +306,8 @@ def figure4(
         seed,
         smooth=smooth,
         workers=workers,
+        store=store,
+        offline=offline,
     )
     return FigureData(
         name=f"figure4-{app}",
@@ -312,6 +326,8 @@ def figure5(
     seed: int = 1,
     settings: Sequence[Tuple[int, int]] = ((1, 2), (5, 10), (10, 20), (20, 40)),
     workers: Optional[int] = None,
+    store=None,
+    offline: bool = False,
 ) -> FigureData:
     """Figure 5: average token count (gossip learning, randomized strategy).
 
@@ -339,7 +355,7 @@ def figure5(
         ],
         description=f"token balance fan: {len(settings)} settings x {repeats} seeds",
     ).repeated(repeats)
-    results = run_suite(suite, workers=workers).results()
+    results = run_suite(suite, workers=workers, store=store, offline=offline).results()
     series: Dict[str, TimeSeries] = {}
     predictions: Dict[str, float] = {}
     trajectories: Dict[str, object] = {}

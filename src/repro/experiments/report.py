@@ -157,3 +157,69 @@ def format_messages_per_node(
     for label, rate in rates_by_label.items():
         lines.append(f"  {label:<{width}}  {rate:.3f}")
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Result-store listings (``repro store ls`` / ``repro store diff``)
+# ----------------------------------------------------------------------
+def format_store_entries(entries) -> str:
+    """Render result-store entries as an aligned ``ls`` table.
+
+    ``entries`` is any iterable of :class:`repro.store.StoreEntry`-like
+    objects (key, label, seed, summary dict, created_at, stale flag).
+    """
+    entries = list(entries)
+    if not entries:
+        return "(empty store)"
+    rows = []
+    for entry in sorted(entries, key=lambda e: (e.label, e.seed, e.key)):
+        final = entry.summary.get("final_metric")
+        size = entry.summary.get("n")
+        periods = entry.summary.get("periods")
+        rows.append(
+            (
+                entry.key[:12],
+                entry.label,
+                str(entry.seed),
+                f"{size}x{periods}" if size is not None else "-",
+                f"{final:.4g}" if final is not None else "-",
+                entry.created_at or "-",
+                "stale" if entry.stale else "",
+            )
+        )
+    header = ("key", "label", "seed", "NxP", "final", "created (UTC)", "")
+    widths = [
+        max(len(row[column]) for row in rows + [header])
+        for column in range(len(header))
+    ]
+    lines = [
+        "  ".join(f"{cell:<{widths[i]}}" for i, cell in enumerate(header)).rstrip()
+    ]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append(
+            "  ".join(f"{cell:<{widths[i]}}" for i, cell in enumerate(row)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def format_store_diff(report: Dict[str, list], left: str, right: str) -> str:
+    """Render a :func:`repro.store.diff_stores` report for the shell."""
+    lines = [
+        f"A = {left}",
+        f"B = {right}",
+        f"matching cells:  {len(report['matching'])}",
+        f"differing cells: {len(report['differing'])}",
+        f"only in A:       {len(report['only_left'])}",
+        f"only in B:       {len(report['only_right'])}",
+    ]
+    for title, bucket in (
+        ("differing", "differing"),
+        ("only in A", "only_left"),
+        ("only in B", "only_right"),
+    ):
+        for entry in report[bucket]:
+            lines.append(
+                f"  [{title}] {entry.key[:12]}  {entry.label} seed={entry.seed}"
+            )
+    return "\n".join(lines)

@@ -285,9 +285,23 @@ class Experiment:
         )
 
 
-def run_experiment(config: ConfigLike) -> ExperimentResult:
-    """Build and run one experiment (the main library entry point)."""
-    return Experiment(config).run()
+def run_experiment(config: ConfigLike, store=None) -> ExperimentResult:
+    """Build and run one experiment (the main library entry point).
+
+    With a :class:`~repro.store.ResultStore` passed as ``store``, the
+    run is memoized: a prior result for the same configuration (and
+    code-schema version) is returned without simulating, and a fresh
+    result is persisted for the next caller. ``None`` (the default)
+    always simulates.
+    """
+    if store is not None:
+        cached = store.get(config)
+        if cached is not None:
+            return cached
+    result = Experiment(config).run()
+    if store is not None:
+        store.put(config, result)
+    return result
 
 
 def replicate_seeds(

@@ -54,6 +54,9 @@ class ScalePreset:
 
 
 _PRESETS = {
+    "smoke": ScalePreset(
+        name="smoke", n=60, n_large=150, periods=20, repeats=1, trace_users=300
+    ),
     "ci": ScalePreset(
         name="ci", n=400, n_large=2000, periods=200, repeats=1, trace_users=2000
     ),
@@ -69,6 +72,11 @@ _PRESETS = {
         trace_users=40_658,
     ),
 }
+
+
+def scale_names() -> tuple:
+    """Valid ``REPRO_SCALE`` / ``--scale`` preset names, smallest first."""
+    return tuple(_PRESETS)
 
 
 def current_scale() -> ScalePreset:

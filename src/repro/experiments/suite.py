@@ -52,6 +52,7 @@ from repro.experiments.runner import (
     run_experiment,
 )
 from repro.experiments.scale import worker_count
+from repro.store import ResultStore, StoreMissError
 
 #: signature of a cell task: one config in, one (picklable) result out.
 #: Cells are :class:`ExperimentConfig` or :class:`ScenarioSpec` — both
@@ -96,6 +97,7 @@ class ExperimentSuite:
         configs: Iterable[ConfigLike],
         description: str = "",
     ) -> "ExperimentSuite":
+        """Bundle an explicit config sequence into a named suite."""
         return cls(name=name, configs=tuple(configs), description=description)
 
     @classmethod
@@ -161,11 +163,15 @@ class CellResult:
     config: ConfigLike
     #: whatever the task returned; :class:`ExperimentResult` by default
     result: Any
-    #: wall-clock seconds the cell took inside its worker
+    #: wall-clock seconds the cell took inside its worker (0.0 when the
+    #: result came out of the store instead of a simulation)
     wall_seconds: float
+    #: whether the result was served from the result store (cache hit)
+    cached: bool = False
 
     @property
     def events_processed(self) -> int:
+        """Engine events the cell's simulation processed."""
         return getattr(self.result, "events_processed", 0)
 
 
@@ -211,7 +217,18 @@ class SuiteResult:
 
     @property
     def cells_per_second(self) -> float:
+        """Finished cells (cached or simulated) per wall-clock second."""
         return len(self.cells) / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def cache_hits(self) -> int:
+        """How many cells were served from the result store."""
+        return sum(1 for cell in self.cells if cell.cached)
+
+    @property
+    def simulated_cells(self) -> int:
+        """How many cells were actually executed (store misses)."""
+        return len(self.cells) - self.cache_hits
 
     @property
     def parallel_efficiency(self) -> float:
@@ -221,8 +238,9 @@ class SuiteResult:
 
     def summary(self) -> str:
         """One-line human-readable digest."""
+        cached = f", {self.cache_hits} cached" if self.cache_hits else ""
         return (
-            f"{self.suite_name}: {len(self.cells)} cells in "
+            f"{self.suite_name}: {len(self.cells)} cells{cached} in "
             f"{self.wall_seconds:.2f}s with {self.workers} worker(s) — "
             f"{self.events_per_second:,.0f} events/s, "
             f"{self.cells_per_second:.2f} cells/s, "
@@ -267,6 +285,7 @@ class SuiteProgress:
         return self.elapsed / self.done * (self.total - self.done)
 
     def render(self) -> str:
+        """One status line: done/total cells, elapsed seconds, ETA."""
         eta = self.eta_seconds
         eta_text = "?" if eta == float("inf") else f"{eta:.0f}s"
         return (
@@ -328,6 +347,16 @@ class SuiteRunner:
         How many cells are in flight per worker at once. Bounding the
         queue keeps memory flat on huge suites while still overlapping
         scheduling with execution.
+    store:
+        Optional :class:`~repro.store.ResultStore`. Before dispatching a
+        cell the runner checks the store and serves hits without
+        simulating; every miss is persisted on completion, so a killed
+        suite resumes from the cells it already finished (and a warm
+        rerun simulates nothing at all).
+    offline:
+        Require every cell to come from ``store``; any miss raises
+        :class:`~repro.store.StoreMissError` before anything executes.
+        This is how ``repro report`` guarantees zero simulation.
     """
 
     def __init__(
@@ -336,6 +365,8 @@ class SuiteRunner:
         task: CellTask = run_experiment,
         progress: Optional[Callable[[SuiteProgress], None]] = None,
         max_queue_factor: int = 2,
+        store: Optional[ResultStore] = None,
+        offline: bool = False,
     ):
         self.workers = worker_count(workers)
         self.task = task
@@ -343,6 +374,10 @@ class SuiteRunner:
         if max_queue_factor < 1:
             raise ValueError(f"max_queue_factor must be >= 1, got {max_queue_factor}")
         self.max_queue_factor = max_queue_factor
+        if offline and store is None:
+            raise ValueError("offline=True requires a result store")
+        self.store = store
+        self.offline = offline
 
     # ------------------------------------------------------------------
     def run(self, suite: ExperimentSuite) -> SuiteResult:
@@ -351,26 +386,63 @@ class SuiteRunner:
         Results are assembled in suite order regardless of completion
         order. On failure the lowest-indexed failing cell wins and
         remaining queued cells are cancelled (in-flight cells finish).
+        With a store attached, cached cells are served first and only
+        the misses execute (each persisted the moment it completes).
         """
         started = time.perf_counter()
         workers = self.workers
         fallback_reason = None
+        cached, pending = self._partition(suite)
+        if self.offline and pending:
+            raise StoreMissError(
+                suite.name, [config for _, config in pending], self.store.root
+            )
         if workers > 1 and not _fork_available():
             workers = 1
             fallback_reason = "no-fork"
-        if workers > 1:
-            cells = self._run_pooled(suite, workers)
+        if not pending:
+            executed: Dict[int, CellResult] = {}
+        elif workers > 1:
+            executed = self._run_pooled(suite, pending, len(cached), workers)
         else:
-            cells = self._run_serial(suite)
+            executed = self._run_serial(suite, pending, len(cached))
+        executed.update(cached)
         return SuiteResult(
             suite_name=suite.name,
-            cells=cells,
+            cells=[executed[i] for i in sorted(executed)],
             workers=workers,
             wall_seconds=time.perf_counter() - started,
             serial_fallback_reason=fallback_reason,
         )
 
     # ------------------------------------------------------------------
+    def _partition(
+        self, suite: ExperimentSuite
+    ) -> Tuple[Dict[int, CellResult], List[Tuple[int, ConfigLike]]]:
+        """Split the suite into store hits and cells that must execute."""
+        cached: Dict[int, CellResult] = {}
+        pending: List[Tuple[int, ConfigLike]] = []
+        if self.store is None:
+            return cached, list(enumerate(suite))
+        for index, config in enumerate(suite):
+            hit = self.store.get(config, task=self.task)
+            if hit is not None:
+                cached[index] = CellResult(
+                    index=index,
+                    config=config,
+                    result=hit,
+                    wall_seconds=0.0,
+                    cached=True,
+                )
+            else:
+                pending.append((index, config))
+        return cached, pending
+
+    def _persist(self, config: ConfigLike, result: Any) -> None:
+        """Write one finished cell to the store (when one is attached)."""
+        if self.store is not None:
+            self.store.put(config, result, task=self.task)
+
     def _report(self, suite: ExperimentSuite, done: int, index: int, t0: float) -> None:
         if self.progress is None:
             return
@@ -384,25 +456,37 @@ class SuiteRunner:
             )
         )
 
-    def _run_serial(self, suite: ExperimentSuite) -> List[CellResult]:
+    def _run_serial(
+        self,
+        suite: ExperimentSuite,
+        pending: List[Tuple[int, ConfigLike]],
+        base_done: int,
+    ) -> Dict[int, CellResult]:
         t0 = time.perf_counter()
-        cells: List[CellResult] = []
-        for index, config in enumerate(suite):
+        cells: Dict[int, CellResult] = {}
+        for index, config in pending:
             try:
                 _, result, wall = _execute_cell(self.task, index, config)
             except Exception as error:
                 raise SuiteExecutionError(index, config, error) from error
-            cells.append(
-                CellResult(index=index, config=config, result=result, wall_seconds=wall)
+            self._persist(config, result)
+            cells[index] = CellResult(
+                index=index, config=config, result=result, wall_seconds=wall
             )
-            self._report(suite, len(cells), index, t0)
+            self._report(suite, base_done + len(cells), index, t0)
         return cells
 
-    def _run_pooled(self, suite: ExperimentSuite, workers: int) -> List[CellResult]:
+    def _run_pooled(
+        self,
+        suite: ExperimentSuite,
+        pending: List[Tuple[int, ConfigLike]],
+        base_done: int,
+        workers: int,
+    ) -> Dict[int, CellResult]:
         t0 = time.perf_counter()
         by_index: Dict[int, CellResult] = {}
         window = workers * self.max_queue_factor
-        queue = iter(enumerate(suite))
+        queue = iter(pending)
         failure: Optional[SuiteExecutionError] = None
         context = multiprocessing.get_context("fork")
         with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
@@ -424,13 +508,14 @@ class SuiteRunner:
                         if failure is None or index < failure.index:
                             failure = candidate
                         continue
+                    self._persist(config, result)
                     by_index[cell_index] = CellResult(
                         index=cell_index,
                         config=config,
                         result=result,
                         wall_seconds=wall,
                     )
-                    self._report(suite, len(by_index), cell_index, t0)
+                    self._report(suite, base_done + len(by_index), cell_index, t0)
                 if failure is None:
                     for index, config in itertools.islice(
                         queue, window - len(in_flight)
@@ -440,7 +525,7 @@ class SuiteRunner:
                         ] = (index, config)
         if failure is not None:
             raise failure
-        return [by_index[i] for i in sorted(by_index)]
+        return by_index
 
 
 # ----------------------------------------------------------------------
@@ -450,9 +535,13 @@ def run_suite(
     suite: ExperimentSuite,
     workers: Optional[int] = None,
     progress: Optional[Callable[[SuiteProgress], None]] = None,
+    store: Optional[ResultStore] = None,
+    offline: bool = False,
 ) -> SuiteResult:
     """Build a :class:`SuiteRunner` and run ``suite`` (one-call helper)."""
-    return SuiteRunner(workers=workers, progress=progress).run(suite)
+    return SuiteRunner(
+        workers=workers, progress=progress, store=store, offline=offline
+    ).run(suite)
 
 
 def run_configs(
@@ -460,6 +549,7 @@ def run_configs(
     configs: Iterable[ConfigLike],
     workers: Optional[int] = None,
     progress: Optional[Callable[[SuiteProgress], None]] = None,
+    store: Optional[ResultStore] = None,
 ) -> List[ExperimentResult]:
     """Run a bag of configs and return their results in input order.
 
@@ -467,4 +557,4 @@ def run_configs(
     :func:`run_experiment`: same inputs, same outputs, parallel inside.
     """
     suite = ExperimentSuite.from_configs(name, configs)
-    return run_suite(suite, workers=workers, progress=progress).results()
+    return run_suite(suite, workers=workers, progress=progress, store=store).results()

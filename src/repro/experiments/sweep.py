@@ -138,6 +138,8 @@ def run_sweep(
     c_minus_a: Optional[Sequence[int]] = None,
     scenario: str = "failure-free",
     workers: Optional[int] = None,
+    store=None,
+    offline: bool = False,
 ) -> List[SweepCell]:
     """Evaluate one strategy over the (A, C) grid for one application.
 
@@ -150,7 +152,7 @@ def run_sweep(
     suite, coordinates = sweep_suite(
         app, strategy, scale, seed, a_values, c_minus_a, scenario
     )
-    results = run_suite(suite, workers=workers).results()
+    results = run_suite(suite, workers=workers, store=store, offline=offline).results()
     return cells_from_results(strategy, coordinates, results)
 
 

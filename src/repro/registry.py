@@ -100,9 +100,11 @@ class Registration:
 
     @property
     def param_names(self) -> Tuple[str, ...]:
+        """The declared parameter names, in declaration order."""
         return tuple(spec.name for spec in self.params)
 
     def param(self, name: str) -> ParamSpec:
+        """Look up one declared :class:`ParamSpec` by name."""
         for spec in self.params:
             if spec.name == name:
                 return spec

@@ -30,7 +30,7 @@ the flat legacy veneer and compiles into a spec via
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 from typing import Any, Dict, Optional, Tuple
 
 # ----------------------------------------------------------------------
@@ -90,10 +90,12 @@ class ComponentRef:
 
     @classmethod
     def of(cls, name: str, **params: Any) -> "ComponentRef":
+        """Build a ref from keyword parameters (canonically sorted)."""
         return cls(name, tuple(sorted(params.items())))
 
     @property
     def kwargs(self) -> Dict[str, Any]:
+        """The frozen parameters as a plain keyword dict."""
         return dict(self.params)
 
     def with_params(self, **updates: Any) -> "ComponentRef":
@@ -103,6 +105,7 @@ class ComponentRef:
         return ComponentRef.of(self.name, **merged)
 
     def label(self) -> str:
+        """Human-readable ``name(param=value, ...)`` rendering."""
         if not self.params:
             return self.name
         inner = ", ".join(f"{key}={value!r}" for key, value in self.params)
@@ -255,6 +258,7 @@ class ScenarioSpec:
 
     @property
     def effective_sample_interval(self) -> float:
+        """The metric sampling interval (default: half a period)."""
         return self.sample_interval if self.sample_interval else self.period / 2
 
     @property
@@ -296,3 +300,15 @@ class ScenarioSpec:
     def with_overrides(self, **overrides: Any) -> "ScenarioSpec":
         """A copy with the given top-level fields replaced."""
         return replace(self, **overrides)
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """A canonical, JSON-ready identity dict for content hashing.
+
+        The result-store key (:func:`repro.store.cell_key`) is derived
+        from this dict: it must cover every field that can influence a
+        run, and nothing else. ``dataclasses.asdict`` does exactly that
+        for a frozen spec — the ``kind`` tag keeps spec-built cells
+        distinct from :class:`~repro.experiments.config.ExperimentConfig`
+        cells whose compiled spec happens to coincide.
+        """
+        return {"kind": type(self).__name__, "fields": asdict(self)}

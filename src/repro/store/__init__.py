@@ -1,0 +1,51 @@
+"""Content-addressed result store: memoize deterministic experiment cells.
+
+The determinism contract (same config + seed -> bit-identical result at
+any worker count) makes every experiment cell a pure function of its
+configuration. This package exploits that: results are persisted on disk
+under a canonical hash of ``(configuration, seed, code-schema version,
+cell task)``, so re-running a suite re-simulates only the cells that are
+not in the store — a warm second run is near-instant, and a crashed
+suite resumes from the cells it already completed.
+
+Public surface:
+
+* :func:`cell_key` / :data:`RESULT_SCHEMA_VERSION` — the canonical
+  content hash (:mod:`repro.store.hashing`);
+* :class:`ResultStore` / :class:`StoreEntry` / :class:`StoreMissError` —
+  the on-disk store (:mod:`repro.store.store`);
+* :func:`store_from_env` / :func:`resolve_store` — ``REPRO_STORE`` /
+  ``--store`` resolution shared by the CLI and the suite layer.
+
+The store is consumed by :class:`repro.experiments.suite.SuiteRunner`
+(``store=`` / ``offline=``), by :func:`repro.experiments.runner.run_experiment`
+(``store=``) and by the ``repro report`` / ``repro store`` CLI commands.
+"""
+
+from repro.store.hashing import (
+    RESULT_SCHEMA_VERSION,
+    canonical_json,
+    cell_key,
+    task_identity,
+)
+from repro.store.store import (
+    ResultStore,
+    StoreEntry,
+    StoreMissError,
+    diff_stores,
+    resolve_store,
+    store_from_env,
+)
+
+__all__ = [
+    "RESULT_SCHEMA_VERSION",
+    "ResultStore",
+    "StoreEntry",
+    "StoreMissError",
+    "canonical_json",
+    "cell_key",
+    "diff_stores",
+    "resolve_store",
+    "store_from_env",
+    "task_identity",
+]

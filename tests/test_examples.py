@@ -1,23 +1,52 @@
-"""Smoke test: the quickstart example runs and prints sane output.
+"""Smoke tests: every documented example entry point runs end to end.
 
-Only the fastest example runs in the unit suite; the other demos are
-exercised manually / by documentation review (they take ~30-60 s each).
+Each script under ``examples/`` honours ``REPRO_EXAMPLE_TINY=1``, which
+shrinks its network/horizon to a seconds-long miniature; the suite runs
+all of them that way so the documented entry points cannot rot. The
+quickstart additionally gets an output-content check at tiny scale.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
 
+import pytest
+
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
+EXAMPLE_SCRIPTS = sorted(EXAMPLES.glob("*.py"))
 
-def test_quickstart_example_runs():
-    completed = subprocess.run(
-        [sys.executable, str(EXAMPLES / "quickstart.py")],
+
+def _run_tiny(script: Path) -> subprocess.CompletedProcess:
+    environment = dict(os.environ, REPRO_EXAMPLE_TINY="1")
+    return subprocess.run(
+        [sys.executable, str(script)],
         capture_output=True,
         text=True,
-        timeout=180,
+        timeout=300,
+        env=environment,
     )
+
+
+def test_examples_directory_is_covered():
+    """The parametrized list below really covers the examples directory."""
+    assert EXAMPLE_SCRIPTS, f"no example scripts found under {EXAMPLES}"
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=[script.stem for script in EXAMPLE_SCRIPTS]
+)
+def test_example_runs_at_tiny_scale(script):
+    completed = _run_tiny(script)
+    assert completed.returncode == 0, (
+        f"{script.name} failed:\n{completed.stderr[-2000:]}"
+    )
+    assert completed.stdout.strip(), f"{script.name} printed nothing"
+
+
+def test_quickstart_example_output():
+    completed = _run_tiny(EXAMPLES / "quickstart.py")
     assert completed.returncode == 0, completed.stderr
     out = completed.stdout
     assert "proactive baseline" in out
@@ -31,5 +60,5 @@ def test_all_examples_compile():
     """Every example at least byte-compiles (catches bit-rot cheaply)."""
     import py_compile
 
-    for script in sorted(EXAMPLES.glob("*.py")):
+    for script in EXAMPLE_SCRIPTS:
         py_compile.compile(str(script), doraise=True)

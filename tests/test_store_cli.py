@@ -1,0 +1,216 @@
+"""CLI coverage for ``--store``, ``repro report`` and ``repro store``.
+
+Uses the ``smoke`` scale preset so CLI-level suites finish in well under
+a second; the report tests poison the execution path to prove that a
+report never simulates anything.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+SUITE_ARGS = [
+    "--app",
+    "gossip-learning",
+    "--strategies",
+    "simple",
+    "--scale",
+    "smoke",
+    "--seed",
+    "3",
+    "--workers",
+    "1",
+    "--quiet",
+]
+
+
+@pytest.fixture(autouse=True)
+def _isolated_scale(monkeypatch):
+    """Keep --scale side effects (REPRO_SCALE mutation) out of other tests."""
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    monkeypatch.delenv("REPRO_STORE", raising=False)
+    yield
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+
+
+def _poison_execution(monkeypatch):
+    def boom(*args, **kwargs):
+        raise AssertionError("a cell was simulated, expected pure cache hits")
+
+    monkeypatch.setattr("repro.experiments.suite._execute_cell", boom)
+
+
+def _populate(store_path) -> None:
+    assert main(["suite", *SUITE_ARGS, "--store", str(store_path)]) == 0
+
+
+def test_suite_store_cold_then_warm(tmp_path, capsys, monkeypatch):
+    store = tmp_path / "store"
+    assert main(["suite", *SUITE_ARGS, "--store", str(store)]) == 0
+    cold_out = capsys.readouterr().out
+    assert "0 cache hit(s), 3 simulated" in cold_out
+
+    _poison_execution(monkeypatch)
+    assert main(["suite", *SUITE_ARGS, "--store", str(store)]) == 0
+    warm_out = capsys.readouterr().out
+    assert "3 cache hit(s), 0 simulated" in warm_out
+    # The sweep tables of both runs are identical, line for line.
+    table = [line for line in cold_out.splitlines() if "best:" in line]
+    assert table and table == [
+        line for line in warm_out.splitlines() if "best:" in line
+    ]
+
+
+def test_report_suite_rebuilds_without_simulation(tmp_path, capsys, monkeypatch):
+    store = tmp_path / "store"
+    _populate(store)
+    capsys.readouterr()
+    _poison_execution(monkeypatch)
+    report_args = [
+        arg for arg in SUITE_ARGS if arg not in ("--workers", "1", "--quiet")
+    ]
+    assert main(["report", "suite", *report_args, "--store", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert "zero cells simulated" in out
+    assert "best:" in out
+
+
+def test_report_suite_missing_cells_fails_cleanly(tmp_path, capsys):
+    store = tmp_path / "store"
+    _populate(store)
+    capsys.readouterr()
+    code = main(
+        [
+            "report",
+            "suite",
+            "--app",
+            "gossip-learning",
+            "--strategies",
+            "generalized",
+            "--scale",
+            "smoke",
+            "--seed",
+            "3",
+            "--store",
+            str(store),
+        ]
+    )
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "missing" in err and "--store" in err
+
+
+def test_report_requires_a_store(capsys):
+    code = main(["report", "suite", "--app", "gossip-learning", "--scale", "smoke"])
+    assert code == 2
+    assert "REPRO_STORE" in capsys.readouterr().err
+
+
+def test_report_figure_from_store_and_save(tmp_path, capsys, monkeypatch):
+    store = tmp_path / "figs"
+    figure_args = [
+        "figure",
+        "2",
+        "--app",
+        "gossip-learning",
+        "--scale",
+        "smoke",
+        "--quick",
+        "--workers",
+        "1",
+    ]
+    assert main([*figure_args, "--store", str(store)]) == 0
+    capsys.readouterr()
+
+    _poison_execution(monkeypatch)
+    saved = tmp_path / "figure2.json"
+    code = main(
+        [
+            "report",
+            "figure",
+            "2",
+            "--app",
+            "gossip-learning",
+            "--scale",
+            "smoke",
+            "--quick",
+            "--store",
+            str(store),
+            "--save",
+            str(saved),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "rebuilt from the result store" in out
+    assert saved.exists()
+
+
+def test_store_ls_gc_and_env_fallback(tmp_path, capsys, monkeypatch):
+    store = tmp_path / "store"
+    _populate(store)
+    capsys.readouterr()
+
+    monkeypatch.setenv("REPRO_STORE", str(store))
+    assert main(["store", "ls"]) == 0
+    out = capsys.readouterr().out
+    assert "3 entr" in out
+    assert "gossip-learning/simple" in out
+
+    assert main(["store", "gc"]) == 0
+    assert "removed 0" in capsys.readouterr().out
+    assert main(["store", "gc", "--all"]) == 0
+    assert "removed 3" in capsys.readouterr().out
+    assert main(["store", "ls"]) == 0
+    assert "0 entr" in capsys.readouterr().out
+
+
+def test_store_ls_without_store_is_usage_error(capsys):
+    assert main(["store", "ls"]) == 2
+    assert "REPRO_STORE" in capsys.readouterr().err
+
+
+def test_store_diff_identical_and_divergent(tmp_path, capsys):
+    left, right = tmp_path / "left", tmp_path / "right"
+    _populate(left)
+    _populate(right)
+    capsys.readouterr()
+    assert main(["store", "diff", str(left), str(right)]) == 0
+    out = capsys.readouterr().out
+    assert "matching cells:  3" in out
+    assert "differing cells: 0" in out
+
+    # A different seed produces disjoint keys, not differing cells.
+    seed_args = [arg if arg != "3" else "4" for arg in SUITE_ARGS]
+    assert main(["suite", *seed_args, "--store", str(right)]) == 0
+    capsys.readouterr()
+    assert main(["store", "diff", str(left), str(right)]) == 0
+    out = capsys.readouterr().out
+    assert "only in B:       3" in out
+
+
+def test_run_command_with_store_round_trip(tmp_path, capsys):
+    store = tmp_path / "runs"
+    run_args = [
+        "run",
+        "--app",
+        "push-gossip",
+        "--strategy",
+        "simple",
+        "-C",
+        "5",
+        "--nodes",
+        "60",
+        "--periods",
+        "10",
+        "--store",
+        str(store),
+    ]
+    assert main(run_args) == 0
+    first = capsys.readouterr().out
+    assert main(run_args) == 0
+    second = capsys.readouterr().out
+    # Identical table and summary; the second run was a cache hit.
+    assert first.splitlines()[1:] == second.splitlines()[1:]
