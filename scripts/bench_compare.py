@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Compare two directories of ``BENCH_*.json`` artifacts for regressions.
+
+CI runs the bench-smoke job on every push and uploads its artifacts;
+this script diffs the fresh artifacts against the previous successful
+run's and prints a warning for every throughput metric that regressed
+by more than the threshold (default 20%). Output lines use the GitHub
+``::warning::`` annotation form so regressions surface on the workflow
+summary without failing the build (shared-runner noise makes a hard
+gate on wall-clock flaky; the warning plus the tracked artifacts is the
+signal).
+
+Usage::
+
+    python scripts/bench_compare.py <old-dir> <new-dir> [--threshold 0.20]
+    python scripts/bench_compare.py previous-bench artifacts --strict
+
+``--strict`` exits 1 when regressions are found (for local use).
+Only throughput-like metrics are compared (key contains
+``events_per_second``, ``cells_per_second``, ``ratio`` or ``speedup``);
+raw wall-clock and count fields are ignored.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+#: substrings marking a numeric field as a higher-is-better throughput
+METRIC_MARKERS = ("events_per_second", "cells_per_second", "ratio", "speedup")
+
+
+def throughput_metrics(document, prefix: str = "") -> Dict[str, float]:
+    """Flatten a bench document into ``dotted.path -> value`` metrics."""
+    metrics: Dict[str, float] = {}
+    if not isinstance(document, dict):
+        return metrics
+    for key, value in document.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            metrics.update(throughput_metrics(value, f"{path}."))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            if any(marker in key for marker in METRIC_MARKERS):
+                metrics[path] = float(value)
+    return metrics
+
+
+def compare_directories(
+    old_dir: Path, new_dir: Path, threshold: float
+) -> List[str]:
+    """Regression messages for every shared artifact/metric pair."""
+    regressions: List[str] = []
+    for new_file in sorted(Path(new_dir).glob("BENCH_*.json")):
+        old_file = Path(old_dir) / new_file.name
+        if not old_file.is_file():
+            continue
+        try:
+            old_doc = json.loads(old_file.read_text(encoding="utf-8"))
+            new_doc = json.loads(new_file.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue  # unreadable artifacts are not comparable
+        old_metrics = throughput_metrics(old_doc)
+        new_metrics = throughput_metrics(new_doc)
+        for path, old_value in sorted(old_metrics.items()):
+            new_value = new_metrics.get(path)
+            if new_value is None or old_value <= 0:
+                continue
+            drop = (old_value - new_value) / old_value
+            if drop > threshold:
+                regressions.append(
+                    f"{new_file.name}: {path} regressed {drop:.0%} "
+                    f"({old_value:,.1f} -> {new_value:,.1f})"
+                )
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old_dir", help="previous run's artifact directory")
+    parser.add_argument("new_dir", help="this run's artifact directory")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="relative drop that counts as a regression (default 0.20)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on regressions instead of warn-only",
+    )
+    args = parser.parse_args(argv)
+    if not Path(args.old_dir).is_dir():
+        print(f"no previous artifacts at {args.old_dir}; nothing to compare")
+        return 0
+    regressions = compare_directories(
+        Path(args.old_dir), Path(args.new_dir), args.threshold
+    )
+    if not regressions:
+        print(f"bench compare: no regression beyond {args.threshold:.0%}")
+        return 0
+    for message in regressions:
+        print(f"::warning title=bench regression::{message}")
+    print(f"bench compare: {len(regressions)} metric(s) regressed")
+    return 1 if args.strict else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,11 +56,17 @@ from repro.churn.stunner import StunnerTraceConfig, generate_stunner_like_trace
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import format_series_table
 from repro.experiments.runner import run_experiment
-from repro.experiments.scale import ScalePreset, current_scale, scale_names
+from repro.experiments.scale import (
+    ScalePreset,
+    current_scale,
+    scale_names,
+    scale_preset,
+)
 from repro.experiments.sweep import sweepable_strategies
 from repro.registry import (
     ALL_REGISTRIES,
     applications,
+    backends,
     churn_models,
     overlays,
     strategies,
@@ -114,6 +120,16 @@ def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
         choices=overlays.names(),
         default=None,
         help="overlay topology (default: the app's §4.1 overlay)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=backends.names(),
+        default="event",
+        help=(
+            "simulation backend: 'event' is the exact discrete-event "
+            "reference, 'vectorized' the bulk-synchronous NumPy engine "
+            "for large --nodes (push-gossip scenarios)"
+        ),
     )
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--loss-rate", type=float, default=0.0)
@@ -176,6 +192,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         period_spread=args.period_spread,
         grading_scale=args.grading_scale,
         audit_sends=args.audit,
+        backend=args.backend,
     )
 
 
@@ -233,12 +250,17 @@ def _command_list(args: argparse.Namespace) -> int:
 
 
 def _resolve_scale(name: Optional[str]) -> ScalePreset:
+    """Resolve ``--scale`` (explicit choice) or fall back to ``REPRO_SCALE``.
+
+    The explicit choice is threaded as a :class:`ScalePreset` value and
+    never written back to ``os.environ`` — mutating ``REPRO_SCALE``
+    would leak one command's ``--scale`` into every later in-process
+    invocation and into forked suite workers (regression-tested in
+    ``tests/test_cli.py``).
+    """
     if name is None:
         return current_scale()
-    import os
-
-    os.environ["REPRO_SCALE"] = name
-    return current_scale()
+    return scale_preset(name)
 
 
 def _figure_data(args: argparse.Namespace, offline: bool = False):

@@ -93,6 +93,15 @@ class RateLimitAuditor:
 
         It suffices to check windows starting at each send time (a sliding
         window achieves its maximum when its left edge sits on a send).
+
+        The window edge is compared with a scale-relative epsilon: tick
+        times are ``phase + k·Δ`` and the edge is ``(phase + j·Δ) + w``,
+        two float expressions that can disagree by an ulp — enough for a
+        send mathematically *at* the edge of a ``[t, t + Δ)`` window to
+        land spuriously inside it and flag an every-round sender
+        (``C = 0``) as bursting. Real spacings are whole transfer times
+        (seconds), so a sub-microsecond tolerance can never mask a true
+        violation.
         """
         times = self.send_times.get(node_id)
         if not times:
@@ -103,7 +112,9 @@ class RateLimitAuditor:
         for left in range(n):
             if right < left:
                 right = left
-            while right + 1 < n and times[right + 1] < times[left] + window:
+            edge = times[left] + window
+            edge -= 1e-9 * max(1.0, abs(edge))
+            while right + 1 < n and times[right + 1] < edge:
                 right += 1
             best = max(best, right - left + 1)
         return best
@@ -150,7 +161,10 @@ class RateLimitAuditor:
         for left in range(n):
             if right < left:
                 right = left
-            while right + 1 < n and times[right + 1] < times[left] + window:
+            # Same scale-relative edge epsilon as max_sends_in_window.
+            edge = times[left] + window
+            edge -= 1e-9 * max(1.0, abs(edge))
+            while right + 1 < n and times[right + 1] < edge:
                 right += 1
             if right - left + 1 > best_count:
                 best_count = right - left + 1

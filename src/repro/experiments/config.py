@@ -133,6 +133,10 @@ class ExperimentConfig:
     fail_window: tuple = (0.25, 0.35)
     #: replication-repair: failure detection delay; None = one period
     detection_delay: Optional[float] = None
+    #: simulation backend registry name (``"event"`` = the exact
+    #: discrete-event reference, ``"vectorized"`` = the bulk-synchronous
+    #: NumPy engine for large N; see :mod:`repro.backends`)
+    backend: str = "event"
 
     def __post_init__(self) -> None:
         # Compiling to a spec runs the full registry validation chain:
@@ -214,6 +218,7 @@ class ExperimentConfig:
             sample_interval=self.sample_interval,
             collect_tokens=self.collect_tokens,
             audit_sends=self.audit_sends,
+            backend=self.backend,
         )
         # Frozen dataclass: cache via __dict__, not setattr.
         object.__setattr__(self, "_compiled_spec", spec)

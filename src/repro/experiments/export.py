@@ -71,6 +71,7 @@ def result_to_dict(result: ExperimentResult) -> dict:
             "delivered": result.network.delivered,
             "lost_offline": result.network.lost_offline,
             "lost_dropped": result.network.lost_dropped,
+            "lost_sender_offline": result.network.lost_sender_offline,
             "by_kind": dict(result.network.by_kind),
         },
         "ratelimit_violations": len(result.ratelimit_violations),

@@ -285,6 +285,22 @@ class Experiment:
         )
 
 
+def execute_backend(config: ConfigLike) -> ExperimentResult:
+    """Dispatch one configuration to its simulation backend.
+
+    The spec's ``backend`` field names a :data:`repro.registry.backends`
+    entry (``"event"`` = the exact discrete-event reference built by
+    :class:`Experiment`; ``"vectorized"`` = the bulk-synchronous NumPy
+    engine). Every execution path — direct runs, suites, sweeps,
+    figures — funnels through here, so a suite mixing backends just
+    works and the store keys each cell under its backend.
+    """
+    from repro.registry import backends
+
+    spec = config.to_spec() if isinstance(config, ExperimentConfig) else config
+    return backends.create(spec.backend).run(config)
+
+
 def run_experiment(config: ConfigLike, store=None) -> ExperimentResult:
     """Build and run one experiment (the main library entry point).
 
@@ -298,7 +314,7 @@ def run_experiment(config: ConfigLike, store=None) -> ExperimentResult:
         cached = store.get(config)
         if cached is not None:
             return cached
-    result = Experiment(config).run()
+    result = execute_backend(config)
     if store is not None:
         store.put(config, result)
     return result

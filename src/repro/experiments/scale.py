@@ -79,6 +79,21 @@ def scale_names() -> tuple:
     return tuple(_PRESETS)
 
 
+def scale_preset(name: str) -> ScalePreset:
+    """Look up one preset by name (the ``--scale`` resolution path).
+
+    This is how an explicit scale choice must be resolved: directly,
+    without touching ``REPRO_SCALE``. Mutating the environment instead
+    (the old CLI behaviour) leaks the choice into every later
+    in-process invocation and into spawned workers.
+    """
+    try:
+        return _PRESETS[name.strip().lower()]
+    except KeyError:
+        valid = ", ".join(sorted(_PRESETS))
+        raise ValueError(f"unknown scale {name!r}; expected one of: {valid}") from None
+
+
 def current_scale() -> ScalePreset:
     """The scale preset selected by ``REPRO_SCALE`` (default ``ci``)."""
     name = os.environ.get("REPRO_SCALE", "ci").strip().lower()

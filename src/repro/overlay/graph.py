@@ -44,6 +44,24 @@ class Overlay:
         self._out: Tuple[Tuple[int, ...], ...] = tuple(frozen)
         self._in: Tuple[Tuple[int, ...], ...] | None = None
 
+    @classmethod
+    def from_trusted_rows(
+        cls, out_neighbors: Iterable[Tuple[int, ...]]
+    ) -> "Overlay":
+        """Build without per-edge validation (rows must already be valid).
+
+        For generators that are correct by construction (the NumPy k-out
+        wiring draws targets from ``[0, n) \\ {i}`` and redraws duplicate
+        rows): at 10^5–10^6 nodes the per-edge Python checks of
+        ``__init__`` cost more than the wiring itself. Rows must be
+        tuples of in-range, self-loop-free, duplicate-free targets —
+        feeding anything else corrupts peer-sampling uniformity.
+        """
+        overlay = cls.__new__(cls)
+        overlay._out = tuple(out_neighbors)
+        overlay._in = None
+        return overlay
+
     # ------------------------------------------------------------------
     @property
     def n(self) -> int:

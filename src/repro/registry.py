@@ -9,7 +9,10 @@ kept in its own :class:`Registry`:
   build one application's per-node apps, workload, substrate and metric
   (:mod:`repro.apps`);
 * **overlays** — topology builders (:mod:`repro.overlay`);
-* **churn models** — availability-trace generators (:mod:`repro.churn`).
+* **churn models** — availability-trace generators (:mod:`repro.churn`);
+* **backends** — simulation execution engines (:mod:`repro.backends`):
+  the exact discrete-event reference and the bulk-synchronous NumPy
+  vectorized engine for large-N runs.
 
 Components register themselves with a decorator::
 
@@ -386,10 +389,13 @@ overlays = Registry(
 
 churn_models = Registry("churn model", builtin_modules=("repro.churn.models",))
 
-#: the four registries, keyed by the section names ``repro list`` prints
+backends = Registry("backend", builtin_modules=("repro.backends",))
+
+#: the five registries, keyed by the section names ``repro list`` prints
 ALL_REGISTRIES: Dict[str, Registry] = {
     "strategies": strategies,
     "applications": applications,
     "overlays": overlays,
     "churn-models": churn_models,
+    "backends": backends,
 }

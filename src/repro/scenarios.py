@@ -10,7 +10,11 @@ composing registry components (:mod:`repro.registry`) along five axes:
 * **churn** — the availability model (``none`` / ``stunner-trace`` /
   ``flash-crowd`` / ...);
 * **network** — transport behaviour: transfer time, an optional
-  per-message transfer-time jitter, and i.i.d. in-transit loss.
+  per-message transfer-time jitter, and i.i.d. in-transit loss;
+* **backend** — the simulation engine that executes the scenario: the
+  exact discrete-event reference (``"event"``) or the bulk-synchronous
+  NumPy engine (``"vectorized"``) for large-N runs
+  (:mod:`repro.backends`).
 
 plus the structural knobs (``n``, ``periods``, ``period``, seeded
 randomness) and ``period_spread`` for heterogeneous per-node proactive
@@ -218,9 +222,20 @@ class ScenarioSpec:
     collect_tokens: bool = False
     #: record per-node send timestamps for burst auditing
     audit_sends: bool = False
+    #: simulation backend registry name (``"event"`` is the exact
+    #: discrete-event reference; ``"vectorized"`` the bulk-synchronous
+    #: NumPy engine). Part of the cell identity: results from different
+    #: backends never share a store key.
+    backend: str = "event"
 
     def __post_init__(self) -> None:
-        from repro.registry import applications, churn_models, overlays, strategies
+        from repro.registry import (
+            applications,
+            backends,
+            churn_models,
+            overlays,
+            strategies,
+        )
 
         if self.n < 2:
             raise ValueError(f"need at least 2 nodes, got {self.n}")
@@ -232,6 +247,7 @@ class ScenarioSpec:
             raise ValueError(
                 f"period_spread must be in [0, 1), got {self.period_spread}"
             )
+        backends.get(self.backend)  # unknown backend names fail fast
         app_registration = applications.get(self.app.name)
         app_registration.validate(self.app.kwargs)
         churn_models.get(self.churn.name).validate(self.churn.kwargs)
@@ -247,7 +263,21 @@ class ScenarioSpec:
         # Instantiating the strategy and the plugin runs their own value
         # validation (C >= A, probability ranges, ...) at spec time.
         strategies.get(self.strategy.name).validate(self.strategy.kwargs)
-        self.build_strategy()
+        strategy = self.build_strategy()
+        # The per-node account invariants, checked once up front so every
+        # backend fails identically at spec time (the event engine would
+        # raise from TokenAccount at node construction; the vectorized
+        # kernel has no per-node accounts to catch it).
+        if self.initial_tokens < 0 and not strategy.requires_overdraft:
+            raise ValueError(
+                f"initial_tokens must be >= 0, got {self.initial_tokens}"
+            )
+        capacity = strategy.token_capacity
+        if capacity is not None and self.initial_tokens > capacity:
+            raise ValueError(
+                f"initial_tokens {self.initial_tokens} exceeds the strategy's "
+                f"token capacity {capacity}"
+            )
         self.build_plugin()
 
     # ------------------------------------------------------------------

@@ -66,6 +66,10 @@ class NetworkStats:
     delivered: int = 0
     lost_offline: int = 0
     lost_dropped: int = 0
+    #: sends attempted by a node that was (already) offline at the send
+    #: instant — dropped and counted, never delivered (see
+    #: :meth:`Network.send` on the same-instant churn race)
+    lost_sender_offline: int = 0
     by_kind: Dict[str, int] = field(default_factory=dict)
 
     def record_send(self, kind: str) -> None:
@@ -85,8 +89,20 @@ class Network:
 
     Notes
     -----
-    * Sending from an offline node is a programming error (protocols are
-      paused while offline) and raises.
+    * **Same-instant ordering under churn.** Events at one virtual
+      instant run in scheduling order (FIFO seq, see
+      :class:`~repro.sim.engine.Simulator`). Churn transitions are
+      scheduled up-front by :meth:`repro.churn.schedule.ChurnSchedule.apply`
+      — *before* any protocol timer is armed — so when a node's period
+      timer fires at the very instant the node is taken offline, the
+      offline transition has already run and the tick's own online guard
+      skips the send. Sends scheduled *dynamically* (application control
+      plane, workload callbacks, failure injectors) cannot rely on that
+      ordering: a stale callback may still attempt to send after its
+      node went offline in the same instant. Such sends are not a crash;
+      they are dropped and counted in ``stats.lost_sender_offline`` (the
+      destination left the network — the model explicitly permits this,
+      and the sender leaving mid-instant is the symmetric case).
     * ``send_log_enabled`` turns on per-node timestamp logs used by the
       burst auditor; it is off by default because half a million nodes
       each logging every send is needless memory in large runs.
@@ -149,17 +165,27 @@ class Network:
     # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
-    def send(self, src: int, dst: int, payload: Any, kind: str = "data") -> Message:
+    def send(
+        self, src: int, dst: int, payload: Any, kind: str = "data"
+    ) -> Optional[Message]:
         """Send ``payload`` from ``src`` to ``dst``; returns the message.
 
         Delivery is scheduled ``transfer_time`` seconds in the future and
         silently dropped if the destination is offline at that instant.
+
+        A send attempted by an *offline* node — reachable when a
+        dynamically scheduled callback races a churn transition at the
+        same virtual instant (see the class notes) — is dropped before
+        any accounting: it returns ``None`` and increments
+        ``stats.lost_sender_offline`` only. It does not count as sent,
+        does not enter the per-node send log, and is invisible to send
+        listeners, so the §3.4 burst audit never sees a message the
+        node could not actually emit.
         """
         sender = self.nodes[src]
         if not sender.online:
-            raise RuntimeError(
-                f"offline node {src} attempted to send at t={self.sim.now:.3f}"
-            )
+            self.stats.lost_sender_offline += 1
+            return None
         if dst not in self.nodes:
             raise KeyError(f"unknown destination node {dst}")
         message = Message(src, dst, payload, kind, self.sim.now)

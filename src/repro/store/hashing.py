@@ -35,7 +35,16 @@ from typing import Any, Callable, Optional
 #: fields of ``ExperimentResult`` / ``ExperimentConfig`` /
 #: ``ScenarioSpec`` change shape or meaning, or when a simulation change
 #: intentionally alters results for identical configurations.
-RESULT_SCHEMA_VERSION = 1
+#:
+#: History:
+#:
+#: * 2 — the ``backend`` axis joined the config surface (and
+#:   ``NetworkStats`` grew ``lost_sender_offline``): every pre-backend
+#:   entry was produced by what is now the ``"event"`` backend but is
+#:   keyed without the axis, so it must never satisfy a post-backend
+#:   lookup. ``repro store gc`` prunes the stale entries.
+#: * 1 — initial store format.
+RESULT_SCHEMA_VERSION = 2
 
 
 def task_identity(task: Optional[Callable[..., Any]]) -> str:

@@ -1,0 +1,138 @@
+"""The backend equivalence gate (and its negative path).
+
+Before the vectorized backend is trusted at N >= 1e5, it must match the
+exact event engine's round-level aggregates — sends per slot, quality
+curves, the §3.4 burst audit — on small N across the scenario matrix:
+every registered strategy x overlay x loss x jitter x churn. The
+comparison is statistical (bulk-synchronous vs event-driven timing)
+with the tolerances of :mod:`repro.backends.equivalence`.
+
+The negative path proves the gate has teeth: a vectorized kernel with a
+deliberate off-by-one token grant (banking two tokens per skipped round
+instead of one) must *fail* the gate.
+"""
+
+import pytest
+
+from repro.backends.equivalence import compare_backends
+from repro.backends.vectorized import VectorizedBackend
+from repro.experiments.config import ExperimentConfig
+from repro.registry import strategies as strategy_registry
+
+#: gate scale: small enough for the event engine to be instant, large
+#: enough for the aggregates to be out of the shot-noise regime
+GATE_N = 64
+GATE_PERIODS = 50
+
+
+def gate_config(**overrides) -> ExperimentConfig:
+    defaults = dict(
+        app="push-gossip",
+        strategy="randomized",
+        spend_rate=10,
+        capacity=20,
+        n=GATE_N,
+        periods=GATE_PERIODS,
+        seed=1,
+        audit_sends=True,
+        # Slot-aligned samples: both engines measure the same grid.
+        sample_interval=172.8,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def _strategy_params(name):
+    declared = strategy_registry.get(name).param_names
+    params = {}
+    if "spend_rate" in declared:
+        params["spend_rate"] = 10
+    if "capacity" in declared:
+        params["capacity"] = 20 if "spend_rate" in declared else 10
+    return params
+
+
+@pytest.mark.parametrize("strategy", strategy_registry.names())
+@pytest.mark.parametrize("seed", [1, 2])
+def test_gate_every_registered_strategy(strategy, seed):
+    """Acceptance: the gate passes for all registered strategies, N <= 64."""
+    overrides = dict(spend_rate=None, capacity=None)
+    overrides.update(_strategy_params(strategy))
+    report = compare_backends(gate_config(strategy=strategy, seed=seed, **overrides))
+    assert report.ok, report.summary()
+
+
+@pytest.mark.parametrize(
+    "axis",
+    [
+        dict(loss_rate=0.2),
+        dict(transfer_jitter=0.3),
+        dict(overlay="watts-strogatz"),
+        dict(scenario="trace"),
+        dict(scenario="flash-crowd"),
+        dict(period_spread=0.2),
+        dict(scenario="trace", overlay="watts-strogatz", loss_rate=0.2),
+        dict(scenario="flash-crowd", transfer_jitter=0.3, period_spread=0.2),
+    ],
+    ids=lambda axis: "+".join(f"{k}={v}" for k, v in axis.items()),
+)
+@pytest.mark.parametrize("seed", [1, 2])
+def test_gate_across_scenario_axes(axis, seed):
+    """Overlay x loss x jitter x churn x heterogeneity, both engines."""
+    report = compare_backends(gate_config(seed=seed, **axis))
+    assert report.ok, report.summary()
+
+
+def test_gate_burst_audit_holds_on_both_engines():
+    """The §3.4 audit is part of the gate and must pass exactly."""
+    report = compare_backends(gate_config(strategy="simple", capacity=10))
+    assert report.ok, report.summary()
+    assert report.event.ratelimit_violations == []
+    assert report.vectorized.ratelimit_violations == []
+
+
+# ----------------------------------------------------------------------
+# Negative path: the gate must catch a perturbed kernel
+# ----------------------------------------------------------------------
+class OffByOneGrantBackend(VectorizedBackend):
+    """A deliberately broken kernel: banks 2 tokens per skipped round."""
+
+    grant_amount = 2
+
+
+@pytest.mark.parametrize(
+    "strategy,params",
+    [
+        ("simple", dict(capacity=10)),
+        ("randomized", dict(spend_rate=10, capacity=20)),
+    ],
+)
+def test_gate_catches_off_by_one_token_grant(strategy, params):
+    """An off-by-one grant inflates the send rate past the tolerance."""
+    overrides = dict(spend_rate=None, capacity=None)
+    overrides.update(params)
+    config = gate_config(strategy=strategy, **overrides)
+    report = compare_backends(config, backend=OffByOneGrantBackend())
+    assert not report.ok, (
+        "the equivalence gate accepted a kernel granting two tokens per "
+        f"skipped round: {report.summary()}"
+    )
+    assert any("send rate" in failure for failure in report.failures)
+
+
+def test_gate_catches_quality_divergence():
+    """A kernel whose metric drifts must fail the quality check."""
+
+    class StaleMetricBackend(VectorizedBackend):
+        def run(self, config):
+            result = super().run(config)
+            shifted = type(result.metric)(
+                (time, value * 3.0 + 10.0)
+                for time, value in zip(result.metric.times, result.metric.values)
+            )
+            result.metric = shifted
+            return result
+
+    report = compare_backends(gate_config(), backend=StaleMetricBackend())
+    assert not report.ok
+    assert any("quality" in failure for failure in report.failures)

@@ -67,6 +67,37 @@ def test_trace_command(tmp_path, capsys):
     assert trace.horizon == 24 * 3600.0
 
 
+def test_scale_option_does_not_leak_into_later_invocations(monkeypatch, capsys):
+    """Regression: --scale must not mutate REPRO_SCALE process-globally.
+
+    Two sequential in-process CLI calls: the first picks an explicit
+    scale, the second passes none and must see the default again (and
+    the environment must be untouched — a leaked REPRO_SCALE would also
+    reach forked suite workers).
+    """
+    import os
+
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    assert main(["figure", "1", "--scale", "smoke"]) == 0
+    first = capsys.readouterr().out
+    assert "smoke" in first
+    assert "REPRO_SCALE" not in os.environ
+    # Second call, no --scale: the default (ci) applies, not smoke.
+    assert main(["figure", "1"]) == 0
+    second = capsys.readouterr().out
+    assert "ci(" in second
+    assert "smoke" not in second
+
+
+def test_explicit_scale_resolution_matches_env_resolution(monkeypatch):
+    from repro.experiments.scale import current_scale, scale_preset
+
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    assert scale_preset("ci") == current_scale()  # the default is ci
+    with pytest.raises(ValueError, match="unknown scale"):
+        scale_preset("galactic")
+
+
 def test_parser_rejects_unknown_command():
     parser = build_parser()
     with pytest.raises(SystemExit):

@@ -66,11 +66,57 @@ def test_destination_offline_at_send_but_online_at_delivery():
     assert len(nodes[1].inbox) == 1
 
 
-def test_send_from_offline_node_raises():
+def test_send_from_offline_node_is_counted_drop():
+    """An offline sender is a counted drop, not a crash (churn race)."""
     sim, network, nodes = wired()
     nodes[0].set_online(False)
-    with pytest.raises(RuntimeError):
-        network.send(0, 1, "x")
+    seen = []
+    network.add_send_listener(lambda m: seen.append(m))
+    network.enable_send_log()
+    assert network.send(0, 1, "x") is None
+    sim.run()
+    assert nodes[1].inbox == []
+    assert network.stats.lost_sender_offline == 1
+    # The message never existed for any other accounting surface.
+    assert network.stats.sent == 0
+    assert network.sent_per_node[0] == 0
+    assert network.send_log == {}
+    assert seen == []
+
+
+def test_offline_at_own_tick_race_is_not_a_crash():
+    """A node taken offline at the very instant its own timer fires.
+
+    The churn transition is scheduled *first* (smaller FIFO seq, the
+    ordering ChurnSchedule.apply guarantees by running before any
+    protocol timer is armed), so the tick observes the node offline.
+    A stale dynamically-scheduled callback that still attempts the send
+    afterwards must degrade to a counted drop, never a RuntimeError.
+    """
+    sim, network, nodes = wired()
+    tick_instant = 10.0
+    outcomes = []
+
+    def tick():
+        # The guarded protocol path: skip the send while offline.
+        if not nodes[0].online:
+            outcomes.append("skipped")
+            return
+        network.send(0, 1, "tick")
+        outcomes.append("sent")
+
+    def stale_callback():
+        # An unguarded application callback racing the same instant.
+        outcomes.append(network.send(0, 1, "stale"))
+
+    # Same virtual instant; scheduling order pins execution order.
+    sim.schedule_at(tick_instant, nodes[0].set_online, False)
+    sim.schedule_at(tick_instant, tick)
+    sim.schedule_at(tick_instant, stale_callback)
+    sim.run()
+    assert outcomes == ["skipped", None]
+    assert network.stats.lost_sender_offline == 1
+    assert network.stats.sent == 0
 
 
 def test_unknown_destination_raises():

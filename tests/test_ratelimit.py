@@ -47,6 +47,31 @@ def make_network_with_sends(times, kind="data"):
     return auditor
 
 
+def test_window_edge_float_noise_not_flagged():
+    """A send an ulp inside the window edge must not count (regression).
+
+    Tick times are ``phase + k·Δ`` while the auditor's window edge is
+    ``(phase + j·Δ) + w`` — float expressions that can disagree by one
+    ulp. Before the scale-relative edge epsilon, that flagged every
+    C = 0 (send-every-round) node as bursting.
+    """
+    phase, delta = 2074.3519747297896 - 11 * 172.8, 172.8
+    times = [phase + k * delta for k in range(50)]
+    # The exact failure shape: the next tick computes *below* the edge.
+    assert any(times[k + 1] < times[k] + delta for k in range(49))
+    auditor = make_network_with_sends(times)
+    assert auditor.max_sends_in_window(0, delta) == 1
+    assert auditor.check(period=delta, capacity=0) == []
+
+
+def test_real_violation_still_detected_despite_edge_epsilon():
+    """The epsilon is sub-microsecond: true bursts still trip the bound."""
+    auditor = make_network_with_sends([0.0, 0.001, 0.002])
+    assert auditor.max_sends_in_window(0, 1.0) == 3
+    violations = auditor.check(period=10.0, capacity=0, windows=[1.0])
+    assert violations and violations[0].sends == 3
+
+
 def test_max_sends_in_window():
     auditor = make_network_with_sends([0.0, 1.0, 2.0, 50.0, 51.0])
     assert auditor.max_sends_in_window(0, 3.0) == 3

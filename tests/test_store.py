@@ -23,6 +23,7 @@ from repro.experiments.runner import run_experiment
 from repro.experiments.suite import ExperimentSuite, SuiteRunner
 from repro.scenarios import ComponentRef, ScenarioSpec
 from repro.store import (
+    RESULT_SCHEMA_VERSION,
     ResultStore,
     StoreMissError,
     cell_key,
@@ -101,7 +102,9 @@ def test_cell_key_distinguishes_task_and_schema_version():
     config = small_config()
     assert cell_key(config, task=run_experiment) == cell_key(config)
     assert cell_key(config, task=small_suite) != cell_key(config)
-    assert cell_key(config, schema_version=2) != cell_key(config)
+    assert cell_key(config, schema_version=RESULT_SCHEMA_VERSION + 1) != cell_key(
+        config
+    )
 
 
 def test_cell_key_covers_scenario_specs():
