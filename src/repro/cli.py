@@ -13,6 +13,12 @@ Gives shell access to the main library entry points:
   store, simulating nothing (``repro report figure 2 --store runs/``);
 * ``store`` — inspect (``ls``), prune (``gc``) or compare (``diff``)
   content-addressed result stores;
+* ``serve`` — run the asyncio TCP admission server: every registered
+  strategy as a live rate limiter (``repro serve --strategy simple -C 50
+  --period 0.1 --port 7700``);
+* ``loadgen`` — replay an open-loop Poisson or flash-crowd arrival
+  pattern against a running server and report admitted/rejected counts
+  and latency percentiles;
 * ``trace`` — generate a synthetic STUNner-like availability trace to a
   file and print its Figure-1 statistics.
 
@@ -71,7 +77,7 @@ from repro.registry import (
     overlays,
     strategies,
 )
-from repro.scenarios import SCENARIOS, ComponentRef
+from repro.scenarios import ARRIVAL_PATTERNS, SCENARIOS, ComponentRef
 from repro.sim.randomness import RandomStreams
 from repro.store import ResultStore, StoreMissError, diff_stores, resolve_store
 
@@ -519,6 +525,82 @@ def _command_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    """Run the admission server until interrupted (or for --duration)."""
+    import asyncio
+
+    from repro.serve import TokenAccountLimiter, run_server
+
+    limiter = TokenAccountLimiter(
+        args.strategy,
+        period=args.period,
+        spend_rate=args.spend_rate,
+        capacity=args.capacity,
+        shards=args.shards,
+        max_keys=args.max_keys,
+        seed=args.seed,
+    )
+    try:
+        asyncio.run(
+            run_server(
+                limiter,
+                host=args.host,
+                port=args.port,
+                duration=args.duration,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    stats = limiter.stats()
+    print(
+        f"served {stats['admitted']} admissions / {stats['rejected']} rejections "
+        f"over {stats['keys']} key(s)"
+    )
+    return 0
+
+
+def _command_loadgen(args: argparse.Namespace) -> int:
+    """Drive a running admission server with an arrival pattern."""
+    import asyncio
+    import json as json_module
+
+    from repro.scenarios import ArrivalSpec
+    from repro.serve import run_loadgen
+
+    spec = ArrivalSpec(
+        pattern=args.pattern,
+        rate=args.rate,
+        peak_rate=args.peak_rate,
+        start_fraction=args.burst_start,
+        window_fraction=args.burst_window,
+    )
+    try:
+        report = asyncio.run(
+            run_loadgen(
+                args.host,
+                args.port,
+                spec,
+                duration=args.duration,
+                connections=args.connections,
+                keys=args.keys,
+                seed=args.seed,
+            )
+        )
+    except OSError as error:
+        print(
+            f"error: cannot reach {args.host}:{args.port} ({error}); "
+            f"is `repro serve` running?",
+            file=sys.stderr,
+        )
+        return 1
+    print(report.format())
+    if args.save:
+        with open(args.save, "w", encoding="utf-8") as handle:
+            json_module.dump(report.to_dict(), handle, indent=2)
+        print(f"saved to {args.save}")
+    return 0
+
+
 def _command_trace(args: argparse.Namespace) -> int:
     streams = RandomStreams(args.seed)
     config = StunnerTraceConfig(horizon=args.hours * 3600.0)
@@ -718,6 +800,84 @@ def build_parser() -> argparse.ArgumentParser:
     store_diff.add_argument("left", metavar="STORE_A")
     store_diff.add_argument("right", metavar="STORE_B")
     store_diff.set_defaults(handler=_command_store)
+
+    serve_parser = commands.add_parser(
+        "serve", help="run the TCP admission-control server"
+    )
+    serve_parser.add_argument("--strategy", required=True, choices=strategies.names())
+    serve_parser.add_argument("-A", "--spend-rate", type=int, default=None)
+    serve_parser.add_argument("-C", "--capacity", type=int, default=None)
+    serve_parser.add_argument(
+        "--period",
+        type=float,
+        default=1.0,
+        help="wall-clock seconds per token (steady admission rate = 1/period)",
+    )
+    serve_parser.add_argument("--host", type=str, default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=7700, help="bind port (0 picks a free one)"
+    )
+    serve_parser.add_argument(
+        "--shards", type=int, default=8, help="account-table lock shards"
+    )
+    serve_parser.add_argument(
+        "--max-keys",
+        type=int,
+        default=65536,
+        help="LRU budget for per-key accounts across all shards",
+    )
+    serve_parser.add_argument("--seed", type=int, default=None)
+    serve_parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="serve for this many seconds then exit (default: run forever)",
+    )
+    serve_parser.set_defaults(handler=_command_serve)
+
+    loadgen_parser = commands.add_parser(
+        "loadgen", help="replay an arrival pattern against a running server"
+    )
+    loadgen_parser.add_argument("--host", type=str, default="127.0.0.1")
+    loadgen_parser.add_argument("--port", type=int, default=7700)
+    loadgen_parser.add_argument(
+        "--pattern", choices=ARRIVAL_PATTERNS, default="poisson"
+    )
+    loadgen_parser.add_argument(
+        "--rate", type=float, default=1000.0, help="baseline requests per second"
+    )
+    loadgen_parser.add_argument(
+        "--peak-rate",
+        type=float,
+        default=10000.0,
+        help="flash-crowd in-window requests per second",
+    )
+    loadgen_parser.add_argument(
+        "--burst-start",
+        type=float,
+        default=0.10,
+        help="flash-crowd window start, as a fraction of --duration",
+    )
+    loadgen_parser.add_argument(
+        "--burst-window",
+        type=float,
+        default=0.10,
+        help="flash-crowd window length, as a fraction of --duration",
+    )
+    loadgen_parser.add_argument("--duration", type=float, default=5.0)
+    loadgen_parser.add_argument("--connections", type=int, default=4)
+    loadgen_parser.add_argument(
+        "--keys", type=int, default=16, help="distinct account keys to spread over"
+    )
+    loadgen_parser.add_argument("--seed", type=int, default=1)
+    loadgen_parser.add_argument(
+        "--save",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write the report document to FILE (.json)",
+    )
+    loadgen_parser.set_defaults(handler=_command_loadgen)
 
     trace_parser = commands.add_parser(
         "trace", help="generate a synthetic smartphone trace"

@@ -73,16 +73,37 @@ class RateLimitAuditor:
     Only ``data`` messages count: control messages (the pull request of
     §4.1.2) carry no payload and are not part of the paper's accounting,
     but pull *replies* burn a token and therefore are data messages.
+
+    The auditor also works without a simulated network: pass
+    ``network=None`` and feed it events directly with :meth:`record` —
+    this is how the serving-layer tests audit wall-clock admission
+    timestamps from :class:`repro.serve.TokenAccountLimiter` against the
+    same bound the simulation proves.
     """
 
-    def __init__(self, network: Network, kinds: tuple = ("data",)):
+    def __init__(self, network: Optional[Network] = None, kinds: tuple = ("data",)):
         self.kinds = kinds
         self.send_times: Dict[int, List[float]] = {}
-        network.add_send_listener(self._on_send)
+        if network is not None:
+            network.add_send_listener(self._on_send)
 
     def _on_send(self, message: Message) -> None:
         if message.kind in self.kinds:
             self.send_times.setdefault(message.src, []).append(message.sent_at)
+
+    def record(self, node_id: int, time: float) -> None:
+        """Record one send/admission directly (non-simulated callers).
+
+        Times must arrive in non-decreasing order per node, matching what
+        the network listener delivers; :meth:`max_sends_in_window` relies
+        on sorted timestamps.
+        """
+        times = self.send_times.setdefault(node_id, [])
+        if times and time < times[-1]:
+            raise ValueError(
+                f"non-monotone record for node {node_id}: {time} after {times[-1]}"
+            )
+        times.append(time)
 
     # ------------------------------------------------------------------
     def total_sends(self, node_id: int) -> int:

@@ -33,9 +33,11 @@ Each strategy also exposes ``continuous_proactive`` / ``continuous_reactive``
 
 from __future__ import annotations
 
+import random
 from abc import ABC, abstractmethod
 from typing import Optional
 
+from repro.core.rounding import rand_round
 from repro.registry import ParamSpec, strategies as strategy_registry
 
 #: shared (A, C) parameter schema of the token account strategies
@@ -80,6 +82,35 @@ class Strategy(ABC):
 
     def continuous_reactive(self, balance: float, useful: bool) -> float:
         return self.reactive(balance, useful)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # The serving-layer hook (repro.serve). One Algorithm-4 decision,
+    # phrased for admission control: an incoming request plays the role
+    # of an incoming message.
+    # ------------------------------------------------------------------
+    def admission_decision(
+        self, balance: int, useful: bool, rng: random.Random
+    ) -> Optional[str]:
+        """Would this strategy send one message at ``balance`` right now?
+
+        Returns ``"reactive"`` when the reactive function (after
+        Algorithm 4's randomized rounding) yields at least one message —
+        the caller must spend one token; ``"proactive"`` when only the
+        proactive function fires — the caller must account for the send
+        against the tick grid (a token when one is banked, otherwise the
+        once-per-period proactive slot); ``None`` when the strategy
+        would stay silent.
+
+        Used by :class:`repro.serve.TokenAccountLimiter`, which layers
+        the §3.4-preserving resource accounting on top. The hook is pure:
+        all limiter state (accounts, tick anchors) stays with the caller.
+        """
+        if rand_round(self.reactive(balance, useful), rng) >= 1:
+            return "reactive"
+        probability = self.proactive(balance)
+        if probability >= 1.0 or (probability > 0.0 and rng.random() < probability):
+            return "proactive"
+        return None
 
     def describe(self) -> str:
         """Human-readable label used in experiment reports."""

@@ -8,15 +8,20 @@
 * :mod:`repro.metrics.collectors` — periodic samplers that evaluate a
   metric function against the running simulation (performance metrics,
   token balances, message counters).
+* :mod:`repro.metrics.latency` — wall-clock latency percentiles and
+  admitted/rejected accounting for the serving layer's load generator.
 """
 
 from repro.metrics.collectors import MetricCollector, TokenBalanceCollector
+from repro.metrics.latency import LatencyRecorder, percentile
 from repro.metrics.series import TimeSeries
 from repro.metrics.smoothing import window_average
 
 __all__ = [
+    "LatencyRecorder",
     "MetricCollector",
     "TimeSeries",
     "TokenBalanceCollector",
+    "percentile",
     "window_average",
 ]

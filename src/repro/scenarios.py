@@ -143,6 +143,72 @@ class NetworkSpec:
 
 
 # ----------------------------------------------------------------------
+# Serving arrival patterns (the request-traffic side of the vocabulary)
+# ----------------------------------------------------------------------
+#: arrival patterns accepted by ``ArrivalSpec.pattern`` / ``repro loadgen``
+ARRIVAL_PATTERNS: Tuple[str, ...] = ("uniform", "poisson", "flash-crowd")
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """A declarative request-arrival pattern for the serving layer.
+
+    The load generator (:mod:`repro.serve.loadgen`) replays these
+    open-loop against a live admission server. The flash-crowd fields
+    mirror :class:`repro.churn.flash_crowd.FlashCrowdConfig` — the same
+    surge vocabulary, applied to request traffic instead of node
+    availability: a baseline rate, a burst window at ``peak_rate``, and
+    an exponential decay back toward the baseline.
+    """
+
+    #: one of :data:`ARRIVAL_PATTERNS`
+    pattern: str = "poisson"
+    #: baseline arrival rate in requests per second
+    rate: float = 100.0
+    #: in-window rate of the flash crowd (ignored by other patterns)
+    peak_rate: float = 1000.0
+    #: start of the burst window, as a fraction of the run duration
+    start_fraction: float = 0.10
+    #: length of the burst window, as a fraction of the run duration
+    window_fraction: float = 0.10
+    #: post-burst decay time constant, as a fraction of the run duration
+    #: (the analog of the churn model's mean sojourn)
+    decay_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.pattern not in ARRIVAL_PATTERNS:
+            raise ValueError(
+                f"unknown arrival pattern {self.pattern!r}; "
+                f"expected one of {ARRIVAL_PATTERNS}"
+            )
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+        if self.pattern == "flash-crowd":
+            if self.peak_rate < self.rate:
+                raise ValueError(
+                    f"peak_rate ({self.peak_rate}) must be >= rate ({self.rate})"
+                )
+            if not 0.0 <= self.start_fraction < 1.0:
+                raise ValueError(
+                    f"start_fraction must be in [0, 1), got {self.start_fraction}"
+                )
+            if self.window_fraction <= 0 or self.decay_fraction <= 0:
+                raise ValueError(
+                    "window_fraction and decay_fraction must be positive, got "
+                    f"{self.window_fraction} and {self.decay_fraction}"
+                )
+
+    def label(self) -> str:
+        """Short human-readable rendering for reports."""
+        if self.pattern == "flash-crowd":
+            return (
+                f"flash-crowd({self.rate:g}->{self.peak_rate:g}/s "
+                f"@{self.start_fraction:g}+{self.window_fraction:g})"
+            )
+        return f"{self.pattern}({self.rate:g}/s)"
+
+
+# ----------------------------------------------------------------------
 # Scenario presets (the named churn regimes behind ``--scenario``)
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)

@@ -1,0 +1,35 @@
+"""The live-serving layer: token account algorithms as admission control.
+
+Everything below this package runs against *wall-clock* time — the
+bridge from reproducing the paper to serving real traffic with it:
+
+* :mod:`repro.serve.limiter` — :class:`TokenAccountLimiter`, the
+  embeddable thread-safe admission primitive (per-key token accounts,
+  every registered strategy, §3.4 burst bound intact);
+* :mod:`repro.serve.table` — the sharded LRU account table behind it;
+* :mod:`repro.serve.clock` — injectable time sources
+  (:class:`ManualClock` for deterministic tests);
+* :mod:`repro.serve.wire` + :mod:`repro.serve.server` — the batched
+  asyncio TCP admission server (``repro serve``);
+* :mod:`repro.serve.arrivals` + :mod:`repro.serve.loadgen` — the
+  open-loop Poisson / flash-crowd load generator (``repro loadgen``).
+"""
+
+from repro.serve.clock import Clock, ManualClock, monotonic_clock
+from repro.serve.limiter import Decision, TokenAccountLimiter
+from repro.serve.loadgen import LoadgenReport, run_loadgen
+from repro.serve.server import AdmissionServer, run_server
+from repro.serve.table import ShardedTable
+
+__all__ = [
+    "AdmissionServer",
+    "Clock",
+    "Decision",
+    "LoadgenReport",
+    "ManualClock",
+    "ShardedTable",
+    "TokenAccountLimiter",
+    "monotonic_clock",
+    "run_loadgen",
+    "run_server",
+]

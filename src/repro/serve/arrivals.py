@@ -1,0 +1,80 @@
+"""Arrival-time generators for the load generator.
+
+Builds concrete arrival schedules from the declarative
+:class:`~repro.scenarios.ArrivalSpec` (which reuses the flash-crowd
+vocabulary of :mod:`repro.churn.flash_crowd`): given a spec, a horizon
+and an RNG, :func:`arrival_times` yields absolute send times in
+``[0, horizon)`` — an *open-loop* schedule, fixed before the run, so the
+offered load never adapts to server backpressure (the regime in which
+admission control earns its keep).
+
+Patterns
+--------
+``uniform``
+    Fixed inter-arrival gaps at ``rate`` requests/second.
+``poisson``
+    A homogeneous Poisson process at ``rate`` (exponential gaps).
+``flash-crowd``
+    A non-homogeneous Poisson process: baseline ``rate``, stepping to
+    ``peak_rate`` inside the arrival window ``[start_fraction,
+    start_fraction + window_fraction) * horizon`` and decaying
+    exponentially back to baseline afterwards — the request-traffic
+    mirror of the flash-crowd churn model's availability curve.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterator
+
+from repro.scenarios import ArrivalSpec
+
+
+def _flash_crowd_rate(spec: ArrivalSpec, time: float, horizon: float) -> float:
+    """The instantaneous arrival rate of the flash-crowd profile."""
+    start = spec.start_fraction * horizon
+    end = start + spec.window_fraction * horizon
+    if time < start:
+        return spec.rate
+    if time < end:
+        return spec.peak_rate
+    tau = max(spec.decay_fraction * horizon, 1e-9)
+    return spec.rate + (spec.peak_rate - spec.rate) * math.exp(-(time - end) / tau)
+
+
+def arrival_times(
+    spec: ArrivalSpec, horizon: float, rng: random.Random
+) -> Iterator[float]:
+    """Yield absolute arrival times in ``[0, horizon)`` for ``spec``.
+
+    Deterministic given ``rng``'s state; the flash-crowd profile uses
+    Lewis–Shedler thinning against the peak rate, so its draws are
+    exact for the piecewise profile above.
+    """
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    now = 0.0
+    if spec.pattern == "uniform":
+        # multiples, not accumulation: repeated addition drifts by an
+        # ulp per gap and can mint a spurious arrival at the horizon
+        gap = 1.0 / spec.rate
+        count = 1
+        while (due := gap * count) < horizon:
+            yield due
+            count += 1
+        return
+    if spec.pattern == "poisson":
+        while True:
+            now += rng.expovariate(spec.rate)
+            if now >= horizon:
+                return
+            yield now
+    # flash-crowd: thinning against the dominating (peak) rate
+    ceiling = max(spec.peak_rate, spec.rate)
+    while True:
+        now += rng.expovariate(ceiling)
+        if now >= horizon:
+            return
+        if rng.random() < _flash_crowd_rate(spec, now, horizon) / ceiling:
+            yield now

@@ -1,0 +1,46 @@
+"""Injectable time sources for the serving layer.
+
+The limiter never calls ``time.monotonic`` directly: it takes a
+zero-argument callable returning seconds as a float. Production code
+passes :data:`monotonic_clock` (the default); tests pass a
+:class:`ManualClock` and drive virtual time explicitly, which makes the
+§3.4 burst-bound property deterministic and instantaneous to check.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: a clock is any zero-argument callable returning seconds
+Clock = Callable[[], float]
+
+#: the production default — monotonic so admission pacing never jumps
+#: backwards on wall-clock adjustments
+monotonic_clock: Clock = time.monotonic
+
+
+class ManualClock:
+    """A clock whose time only moves when the test says so.
+
+    Calling the instance reads the current virtual time::
+
+        clock = ManualClock()
+        limiter = TokenAccountLimiter(..., clock=clock)
+        clock.advance(0.5)
+    """
+
+    __slots__ = ("now",)
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance a clock backwards: {seconds}")
+        self.now += seconds
+        return self.now

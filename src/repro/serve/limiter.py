@@ -1,0 +1,266 @@
+"""`TokenAccountLimiter` — token account algorithms as admission control.
+
+The paper's point is that token accounts make bursty reactive traffic
+schedulable like proactive traffic; read as a serving primitive that is
+exactly admission control: a request is a stimulus, a send is an
+admission, and the §3.4 guarantee — *no key is admitted more than
+``⌈t/Δ⌉ + C`` times in any window of length ``t``* — is the rate
+contract a caller can size capacity against.
+
+The limiter runs Algorithm 4 against wall-clock time instead of a
+simulated round timer:
+
+* every whole elapsed period ``Δ`` since a key was last touched banks
+  one token into its :class:`~repro.core.account.TokenAccount` (clamped
+  at the strategy's capacity ``C``, exactly like the simulated node
+  whose proactive send found no peer);
+* an incoming ``try_acquire`` plays ONMESSAGE: the strategy's
+  :meth:`~repro.core.strategies.Strategy.admission_decision` hook runs
+  one reactive-then-proactive decision, and an admission spends one
+  banked token;
+* strategies that send proactively from an empty account (the pure
+  proactive baseline, ``C = 0``) admit through a token-less *proactive
+  slot* instead, paced at most once per period — the wall-clock analog
+  of "one proactive send per round".
+
+Burst-bound accounting (why §3.4 survives): every admission consumes
+either a banked token or the paced proactive slot. In any window of
+length ``t`` at most ``C`` tokens existed at the window start and at
+most ``⌈t/Δ⌉`` accrue inside it; the proactive slot fires only for
+capacity-0 strategies (whose accounts never hold tokens) at most once
+per period. Either way admissions never exceed ``⌈t/Δ⌉ + C`` — the
+bound :class:`repro.core.ratelimit.RateLimitAuditor` checks, and the
+property tests drive the limiter with a synthetic clock to prove it for
+every registered strategy.
+
+Two deliberate divergences from the simulation defaults, both standard
+for rate limiters and both inside the bound:
+
+* new keys start with a **full** account (``initial_tokens=None`` means
+  ``C``), so a fresh client gets its burst allowance immediately; pass
+  ``initial_tokens=0`` for the paper's cold start;
+* an LRU-evicted key that returns is indistinguishable from a fresh
+  one — size ``max_keys`` to the working set.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.account import TokenAccount
+from repro.core.strategies import Strategy, make_strategy
+from repro.serve.clock import Clock, monotonic_clock
+from repro.serve.table import KeyState, ShardedTable
+
+#: scale-relative tolerance for tick-grid comparisons — the same idea as
+#: the auditor's window-edge epsilon: ``anchor + k·Δ`` accumulates float
+#: noise, which must never cost (or mint) a whole token
+_TICK_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The outcome of one :meth:`TokenAccountLimiter.try_acquire` call.
+
+    ``reason`` is ``"reactive"`` or ``"proactive"`` for admissions
+    (which Algorithm-4 branch granted the send) and ``"exhausted"`` for
+    rejections. ``retry_after`` is the caller's backoff hint: seconds
+    until the key's next token accrues (``None`` on admission).
+    """
+
+    admitted: bool
+    key: str
+    reason: str
+    #: token balance after the decision
+    balance: int
+    retry_after: Optional[float] = None
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+
+class TokenAccountLimiter:
+    """Thread-safe, wall-clock-driven admission control over token accounts.
+
+    Parameters
+    ----------
+    strategy:
+        A :class:`~repro.core.strategies.Strategy` instance, or a
+        registry name resolved via ``make_strategy`` together with
+        ``spend_rate`` / ``capacity``.
+    period:
+        The wall-clock round length Δ in seconds: every key accrues one
+        token per period. The steady-state admission rate is ``1/period``
+        per key; bursts are bounded by the strategy's capacity ``C``.
+    spend_rate, capacity:
+        Strategy parameters (``A``, ``C``) when ``strategy`` is a name.
+    shards, max_keys:
+        Account-table geometry; see :class:`repro.serve.table.ShardedTable`.
+    clock:
+        Zero-argument time source (default ``time.monotonic``); tests
+        inject :class:`repro.serve.clock.ManualClock`.
+    seed:
+        Seeds the decision RNG (randomized rounding and the randomized
+        strategy's proactive coin). One process-wide stream, as in a
+        single simulated node.
+    initial_tokens:
+        Starting balance for new keys; ``None`` (default) starts full at
+        the strategy's capacity, 0 reproduces the paper's cold start.
+
+    Examples
+    --------
+    >>> from repro.serve import ManualClock, TokenAccountLimiter
+    >>> clock = ManualClock()
+    >>> limiter = TokenAccountLimiter("simple", capacity=2, period=1.0, clock=clock)
+    >>> [bool(limiter.try_acquire("alice")) for _ in range(3)]
+    [True, True, False]
+    >>> _ = clock.advance(1.0)
+    >>> bool(limiter.try_acquire("alice"))
+    True
+    """
+
+    def __init__(
+        self,
+        strategy: Union[Strategy, str],
+        *,
+        period: float = 1.0,
+        spend_rate: Optional[int] = None,
+        capacity: Optional[int] = None,
+        shards: int = 8,
+        max_keys: int = 65536,
+        clock: Clock = monotonic_clock,
+        seed: Optional[int] = None,
+        initial_tokens: Optional[int] = None,
+    ):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if isinstance(strategy, str):
+            strategy = make_strategy(
+                strategy, spend_rate=spend_rate, capacity=capacity
+            )
+        self.strategy = strategy
+        self.period = float(period)
+        cap = strategy.token_capacity
+        if initial_tokens is None:
+            initial_tokens = cap if cap is not None else 0
+        if cap is not None and initial_tokens > cap:
+            raise ValueError(
+                f"initial_tokens {initial_tokens} exceeds the strategy's "
+                f"token capacity {cap}"
+            )
+        self._initial_tokens = initial_tokens
+        self._table = ShardedTable(shards=shards, max_keys=max_keys)
+        self._clock = clock
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    def _new_account(self) -> TokenAccount:
+        """A fresh account for a newly seen (or LRU-recycled) key."""
+        return TokenAccount(
+            initial=self._initial_tokens,
+            capacity=self.strategy.token_capacity,
+            allow_overdraft=self.strategy.requires_overdraft,
+        )
+
+    def _advance(self, state: KeyState, now: float) -> None:
+        """Credit every whole period elapsed since the key's anchor."""
+        elapsed = now - state.anchor
+        if elapsed <= 0:
+            return
+        ticks = int(elapsed / self.period + _TICK_EPSILON)
+        if ticks <= 0:
+            return
+        state.anchor += ticks * self.period
+        state.ticks_granted += ticks
+        state.account.grant_many(ticks)
+
+    def _retry_after(self, state: KeyState, now: float) -> float:
+        """Seconds until the key's next admission opportunity."""
+        if self.strategy.token_capacity == 0:
+            # Capacity-0 strategies can only admit through the paced
+            # proactive slot — ticks grant nothing (the clamp eats
+            # them), so the tick grid must not shorten the hint.
+            if state.last_proactive is not None:
+                return max(0.0, state.last_proactive + self.period - now)
+            return 0.0
+        return max(0.0, state.anchor + self.period - now)
+
+    # ------------------------------------------------------------------
+    def try_acquire(
+        self, key: str, useful: bool = True, now: Optional[float] = None
+    ) -> Decision:
+        """One admission decision for ``key``; never blocks.
+
+        ``useful`` is the Algorithm-4 usefulness flag: pass ``False``
+        for low-priority traffic and the generalized strategy spends
+        tokens at half rate on it (the randomized strategy rejects it
+        outright when not proactively due). ``now`` overrides the clock
+        for this call (tests and replay).
+        """
+        if now is None:
+            now = self._clock()
+        shard = self._table.shard_for(key)
+        with shard.lock:
+            state = shard.get_or_create(key, self._new_account, now)
+            self._advance(state, now)
+            account = state.account
+            verdict = self.strategy.admission_decision(
+                account.balance, useful, self._rng
+            )
+            if verdict is not None:
+                if account.balance >= 1 or account.allow_overdraft:
+                    # Both branches spend a banked token when one exists:
+                    # the proactive send consumes the round's token in the
+                    # paper too (only the skipped round banks it).
+                    account.withdraw(1)
+                    shard.admitted += 1
+                    return Decision(True, key, verdict, account.balance)
+                if verdict == "proactive":
+                    # Token-less proactive slot (capacity-0 strategies):
+                    # at most one admission per period, the wall-clock
+                    # form of "one proactive send per round".
+                    last = state.last_proactive
+                    if last is None or now - last >= self.period * (
+                        1.0 - _TICK_EPSILON
+                    ):
+                        state.last_proactive = now
+                        shard.admitted += 1
+                        return Decision(True, key, "proactive", account.balance)
+            shard.rejected += 1
+            return Decision(
+                False, key, "exhausted", account.balance, self._retry_after(state, now)
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def admitted(self) -> int:
+        """Total admissions (summed over the per-shard counters)."""
+        return self._table.admitted
+
+    @property
+    def rejected(self) -> int:
+        """Total rejections (summed over the per-shard counters)."""
+        return self._table.rejected
+
+    def balance(self, key: str) -> Optional[int]:
+        """The key's current banked balance, or ``None`` if unseen."""
+        shard = self._table.shard_for(key)
+        with shard.lock:
+            state = shard.entries.get(key)
+            return None if state is None else state.account.balance
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def stats(self) -> dict:
+        """A JSON-ready snapshot of the limiter's aggregate counters."""
+        return {
+            "strategy": self.strategy.describe(),
+            "period": self.period,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "keys": len(self._table),
+            "evictions": self._table.evictions,
+        }

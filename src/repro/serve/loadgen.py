@@ -1,0 +1,207 @@
+"""The asyncio load generator (``repro loadgen``).
+
+Replays an *open-loop* arrival schedule (built by
+:mod:`repro.serve.arrivals` from a declarative
+:class:`~repro.scenarios.ArrivalSpec`) against a live admission server:
+request send times are fixed before the run, so offered load does not
+slow down when the server pushes back — the regime that distinguishes
+admission control from polite clients.
+
+Requests fan out round-robin over ``connections`` persistent TCP
+connections and ``keys`` distinct account keys. Each connection
+pipelines: a writer coroutine flushes every request that is due (one
+``write`` per due batch), while a reader coroutine matches response
+lines FIFO to their send deadlines — the line protocol answers strictly
+in order, so no per-request ids are needed. Latency is measured from
+the *scheduled* arrival time to the response, so scheduler lag and
+server backpressure both count, as they would for a real client.
+
+Results aggregate into :class:`repro.metrics.latency.LatencyRecorder`:
+admitted/rejected counts, p50/p95/p99 latency, and an
+admissions-per-second time series that makes the §3.4 ceiling visible
+through a flash-crowd burst.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.metrics.latency import LatencyRecorder
+from repro.scenarios import ArrivalSpec
+from repro.serve import wire
+from repro.serve.arrivals import arrival_times
+from repro.sim.randomness import RandomStreams
+
+
+@dataclass
+class LoadgenReport:
+    """Everything one load-generation run measured."""
+
+    spec_label: str
+    duration: float
+    offered: int
+    #: wall-clock seconds the run actually took (≥ duration under lag)
+    elapsed: float = 0.0
+    errors: int = 0
+    summary: Dict[str, float] = field(default_factory=dict)
+    #: admissions per second over the run, bucketed
+    admitted_per_second: List[float] = field(default_factory=list)
+
+    def format(self) -> str:
+        """The human-readable block ``repro loadgen`` prints."""
+        lines = [
+            f"loadgen {self.spec_label}: offered {self.offered} requests "
+            f"over {self.duration:g}s (elapsed {self.elapsed:.2f}s)",
+        ]
+        summary = self.summary
+        if summary:
+            lines.append(
+                f"  admitted {summary['admitted']:.0f} / rejected "
+                f"{summary['rejected']:.0f}  (admit ratio "
+                f"{summary['admit_ratio']:.1%})"
+            )
+            if "latency_p50_ms" in summary:
+                lines.append(
+                    f"  latency p50 {summary['latency_p50_ms']:.2f}ms  "
+                    f"p95 {summary['latency_p95_ms']:.2f}ms  "
+                    f"p99 {summary['latency_p99_ms']:.2f}ms  "
+                    f"max {summary['latency_max_ms']:.2f}ms"
+                )
+        if self.errors:
+            lines.append(f"  protocol errors: {self.errors}")
+        if self.admitted_per_second:
+            peak = max(self.admitted_per_second)
+            mean = sum(self.admitted_per_second) / len(self.admitted_per_second)
+            lines.append(f"  admitted/s: peak {peak:.0f}, mean {mean:.0f}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready rendering (benchmarks, ``--save``)."""
+        return {
+            "spec": self.spec_label,
+            "duration": self.duration,
+            "offered": self.offered,
+            "elapsed": self.elapsed,
+            "errors": self.errors,
+            "summary": self.summary,
+            "admitted_per_second": self.admitted_per_second,
+        }
+
+
+async def _connection_worker(
+    host: str,
+    port: int,
+    schedule: List[tuple],
+    start: float,
+    recorder: LatencyRecorder,
+    report: LoadgenReport,
+) -> None:
+    """Drive one pipelined connection through its slice of the schedule."""
+    if not schedule:
+        return
+    reader, writer = await asyncio.open_connection(host, port)
+    loop = asyncio.get_running_loop()
+    pending: deque = deque()
+
+    async def read_responses() -> None:
+        while True:
+            line = await reader.readline()
+            if not line:
+                return
+            due = pending.popleft()
+            try:
+                admitted, _reason, _retry = wire.parse_response(line.decode())
+            except ValueError:
+                report.errors += 1
+                admitted = False
+            recorder.record(loop.time() - (start + due), admitted, at=due)
+            if not pending and consumer_done.is_set():
+                return
+
+    consumer_done = asyncio.Event()
+    reader_task = asyncio.create_task(read_responses())
+    index = 0
+    try:
+        while index < len(schedule):
+            due, _ = schedule[index]
+            delay = start + due - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            # Flush everything that is due by now as one batch write.
+            now = loop.time()
+            batch = []
+            while index < len(schedule) and start + schedule[index][0] <= now:
+                due, key = schedule[index]
+                batch.append(wire.encode_request(key))
+                pending.append(due)
+                index += 1
+            writer.write(b"".join(batch))
+            await writer.drain()
+        consumer_done.set()
+        if pending:
+            await reader_task  # drains until every response arrived, or EOF
+        else:
+            reader_task.cancel()
+    except OSError:
+        # The server went away mid-run: keep everything already
+        # measured and report the unsent remainder as errors.
+        report.errors += len(schedule) - index
+    finally:
+        # Requests written but never answered (server EOF mid-batch).
+        report.errors += len(pending)
+        pending.clear()
+        if not reader_task.done():
+            reader_task.cancel()
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def run_loadgen(
+    host: str,
+    port: int,
+    spec: ArrivalSpec,
+    duration: float = 5.0,
+    connections: int = 4,
+    keys: int = 16,
+    seed: int = 1,
+    key_prefix: str = "key",
+) -> LoadgenReport:
+    """Replay ``spec`` against ``host:port`` and measure the outcome.
+
+    Deterministic schedule for a given ``seed`` (the arrival draws come
+    from the same :class:`~repro.sim.randomness.RandomStreams` discipline
+    as the simulation layers); wall-clock latencies are, of course, not.
+    """
+    if connections < 1:
+        raise ValueError(f"need at least one connection, got {connections}")
+    if keys < 1:
+        raise ValueError(f"need at least one key, got {keys}")
+    rng = RandomStreams(seed).stream("loadgen-arrivals")
+    schedule = [
+        (due, f"{key_prefix}-{index % keys}")
+        for index, due in enumerate(arrival_times(spec, duration, rng))
+    ]
+    report = LoadgenReport(
+        spec_label=spec.label(), duration=duration, offered=len(schedule)
+    )
+    recorder = LatencyRecorder()
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    await asyncio.gather(
+        *(
+            _connection_worker(
+                host, port, schedule[worker::connections], start, recorder, report
+            )
+            for worker in range(connections)
+        )
+    )
+    report.elapsed = loop.time() - start
+    report.summary = recorder.summary()
+    report.admitted_per_second = list(recorder.admitted_series().values)
+    return report

@@ -1,0 +1,155 @@
+"""The asyncio TCP admission server (``repro serve``).
+
+One :class:`~repro.serve.limiter.TokenAccountLimiter` shared by every
+connection — the sharded account table is the synchronization point, so
+the asyncio event loop and any worker threads see one consistent token
+state per key.
+
+The hot path is batch-oriented: the reader drains whatever bytes are
+available, answers *every* complete request line in that chunk, and
+flushes all responses with a single ``write`` + ``drain``. A pipelining
+client (like :mod:`repro.serve.loadgen`) therefore amortizes the
+per-syscall and per-drain cost over its batch depth, which is where the
+decisions/sec headline comes from.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from repro.serve import wire
+from repro.serve.limiter import TokenAccountLimiter
+
+#: refuse absurd lines early (a client speaking the wrong protocol)
+_MAX_LINE = 4096
+
+
+class AdmissionServer:
+    """A TCP admission-control server around one shared limiter.
+
+    Parameters
+    ----------
+    limiter:
+        The shared admission primitive.
+    host, port:
+        Bind address; port 0 picks a free port (read it back from
+        :attr:`port` after :meth:`start` — this is how the loopback
+        tests avoid port races).
+    """
+
+    def __init__(
+        self, limiter: TokenAccountLimiter, host: str = "127.0.0.1", port: int = 0
+    ):
+        self.limiter = limiter
+        self.host = host
+        self.port = port
+        self.connections = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> "AdmissionServer":
+        """Bind and start accepting connections; resolves :attr:`port`."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port, limit=2**16
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the ``repro serve`` foreground path)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Stop accepting and close the listening socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    def _respond(self, line: str) -> bytes:
+        """One response line for one request line (the batch inner loop)."""
+        try:
+            command, key, useful = wire.parse_request(line)
+        except ValueError as error:
+            return f"! {error}\n".encode()
+        if command == "A":
+            assert key is not None
+            return wire.encode_decision(self.limiter.try_acquire(key, useful))
+        if command == "S":
+            stats = dict(self.limiter.stats(), connections=self.connections)
+            return (json.dumps(stats, sort_keys=True) + "\n").encode()
+        return b"P\n"  # liveness echo
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Per-connection loop: drain available lines, answer in one write."""
+        self.connections += 1
+        buffer = b""
+        try:
+            while True:
+                chunk = await reader.read(2**16)
+                if not chunk:
+                    break
+                buffer += chunk
+                if b"\n" not in buffer:
+                    if len(buffer) > _MAX_LINE:
+                        writer.write(b"! line too long\n")
+                        break
+                    continue
+                lines, _, buffer = buffer.rpartition(b"\n")
+                responses = [
+                    self._respond(text)
+                    for raw in lines.split(b"\n")
+                    # Blank lines (keep-alives, trailing \r\n) get no reply.
+                    if (text := raw.decode("ascii", "replace").strip())
+                ]
+                if responses:
+                    writer.write(b"".join(responses))
+                    await writer.drain()
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass  # client vanished mid-batch: nothing to answer
+        finally:
+            self.connections -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+
+async def run_server(
+    limiter: TokenAccountLimiter,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    duration: Optional[float] = None,
+    announce=print,
+) -> TokenAccountLimiter:
+    """Start a server and run it for ``duration`` seconds (forever if ``None``).
+
+    The ``repro serve`` entry point: announces the bound address via
+    ``announce`` (so scripts can scrape the port when asking for port 0)
+    and returns the limiter for a final stats line.
+    """
+    server = await AdmissionServer(limiter, host, port).start()
+    announce(
+        f"serving {limiter.strategy.describe()} admission control on "
+        f"{host}:{server.port} (period {limiter.period}s)"
+    )
+    try:
+        if duration is None:
+            await server.serve_forever()
+        else:
+            await asyncio.sleep(duration)
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.close()
+    return limiter

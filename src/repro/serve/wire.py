@@ -1,0 +1,86 @@
+"""The admission server's line protocol, shared by server and clients.
+
+One request per line, one response line per request, newline-delimited
+ASCII — trivially batchable (a client may write many request lines in a
+single segment and the server answers them in order, in one write):
+
+=============================  ==========================================
+request line                   response line
+=============================  ==========================================
+``A <key>``                    ``+ <reason> <balance>`` (admitted) or
+``A <key> n``                  ``- <retry-after-seconds>`` (rejected)
+``S``                          one-line JSON stats document
+``P``                          ``P`` (liveness echo)
+anything else                  ``! <error message>``
+=============================  ==========================================
+
+``A <key> n`` marks the request *not useful* (Algorithm 4's ``u`` flag);
+the default is useful. Keys are any non-empty token without whitespace
+or newlines, at most :data:`MAX_KEY_LENGTH` bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.serve.limiter import Decision
+
+#: longest accepted key, in characters (one line must stay one MTU-ish)
+MAX_KEY_LENGTH = 256
+
+
+def encode_request(key: str, useful: bool = True) -> bytes:
+    """One ``A`` request line for ``key`` (client side)."""
+    return f"A {key}\n".encode() if useful else f"A {key} n\n".encode()
+
+
+def parse_request(line: str) -> Tuple[str, Optional[str], bool]:
+    """Parse one request line into ``(command, key, useful)``.
+
+    ``command`` is ``"A"``, ``"S"`` or ``"P"``; malformed lines raise
+    ``ValueError`` with the message the server echoes back after ``!``.
+    """
+    parts = line.split()
+    if not parts:
+        raise ValueError("empty request")
+    command = parts[0]
+    if command == "A":
+        if len(parts) < 2:
+            raise ValueError("A needs a key")
+        key = parts[1]
+        if len(key) > MAX_KEY_LENGTH:
+            raise ValueError(f"key longer than {MAX_KEY_LENGTH}")
+        useful = True
+        if len(parts) >= 3:
+            if parts[2] not in ("u", "n"):
+                raise ValueError("usefulness flag must be 'u' or 'n'")
+            useful = parts[2] == "u"
+        return "A", key, useful
+    if command in ("S", "P") and len(parts) == 1:
+        return command, None, True
+    raise ValueError(f"unknown command {command!r}")
+
+
+def encode_decision(decision: Decision) -> bytes:
+    """The response line for one admission decision (server side)."""
+    if decision.admitted:
+        return f"+ {decision.reason} {decision.balance}\n".encode()
+    retry = decision.retry_after if decision.retry_after is not None else 0.0
+    return f"- {retry:.6f}\n".encode()
+
+
+def parse_response(line: str) -> Tuple[bool, str, float]:
+    """Parse a response line into ``(admitted, reason, retry_after)``.
+
+    ``reason`` is the admission branch (``"reactive"``/``"proactive"``)
+    on admits and ``"exhausted"`` on rejects; ``retry_after`` is 0.0 on
+    admits. Error lines (``!``) raise ``ValueError``.
+    """
+    parts = line.split()
+    if not parts:
+        raise ValueError("empty response")
+    if parts[0] == "+":
+        return True, parts[1] if len(parts) > 1 else "", 0.0
+    if parts[0] == "-":
+        return False, "exhausted", float(parts[1]) if len(parts) > 1 else 0.0
+    raise ValueError(f"server error: {line.strip()}")

@@ -94,3 +94,118 @@ def test_only_throughput_metrics_compared(tmp_path, capsys):
     code = bench_compare.main([str(tmp_path / "old"), str(tmp_path / "new")])
     assert code == 0
     assert "::warning" not in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# The fail-on-regression gate
+# ----------------------------------------------------------------------
+def gate(tmp_path):
+    return [
+        str(tmp_path / "old"),
+        str(tmp_path / "new"),
+        "--threshold",
+        "0.20",
+        "--fail-on-regression",
+        "0.35",
+    ]
+
+
+def test_gate_fails_beyond_the_hard_threshold(tmp_path, capsys):
+    write(tmp_path / "old", "BENCH_backend.json", doc(events=1_000_000.0))
+    write(tmp_path / "new", "BENCH_backend.json", doc(events=500_000.0, ratio=25.0))
+    code = bench_compare.main(gate(tmp_path))
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "::error" in out and "regressed 50%" in out
+
+
+def test_gate_only_warns_between_thresholds(tmp_path, capsys):
+    write(tmp_path / "old", "BENCH_backend.json", doc(events=1_000_000.0))
+    write(tmp_path / "new", "BENCH_backend.json", doc(events=700_000.0, ratio=35.0))
+    code = bench_compare.main(gate(tmp_path))
+    out = capsys.readouterr().out
+    assert code == 0  # 30% drop: warn, don't fail
+    assert "::warning" in out and "::error" not in out
+
+
+def test_gate_threshold_ordering_is_validated(tmp_path):
+    write(tmp_path / "old", "BENCH_backend.json", doc(events=1.0))
+    write(tmp_path / "new", "BENCH_backend.json", doc(events=1.0))
+    import pytest
+
+    with pytest.raises(SystemExit):
+        bench_compare.main(
+            [
+                str(tmp_path / "old"),
+                str(tmp_path / "new"),
+                "--threshold",
+                "0.5",
+                "--fail-on-regression",
+                "0.2",
+            ]
+        )
+
+
+# ----------------------------------------------------------------------
+# Added / removed metric visibility
+# ----------------------------------------------------------------------
+def test_new_metric_in_existing_artifact_is_announced(tmp_path, capsys):
+    old = {"single": {"decisions_per_second": 100.0}}
+    new = {
+        "single": {"decisions_per_second": 100.0},
+        "sharded": {"decisions_per_second": 300.0},
+    }
+    write(tmp_path / "old", "BENCH_serve.json", old)
+    write(tmp_path / "new", "BENCH_serve.json", new)
+    code = bench_compare.main([str(tmp_path / "old"), str(tmp_path / "new")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "::notice title=new bench metric::" in out
+    assert "sharded.decisions_per_second" in out
+
+
+def test_new_artifact_file_is_announced(tmp_path, capsys):
+    write(tmp_path / "old", "BENCH_backend.json", doc(events=1_000_000.0))
+    write(tmp_path / "new", "BENCH_backend.json", doc(events=1_000_000.0))
+    write(
+        tmp_path / "new",
+        "BENCH_serve.json",
+        {"single": {"decisions_per_second": 250_000.0}},
+    )
+    bench_compare.main([str(tmp_path / "old"), str(tmp_path / "new")])
+    out = capsys.readouterr().out
+    assert "new bench metric" in out and "BENCH_serve.json" in out
+
+
+def test_removed_metric_is_announced(tmp_path, capsys):
+    old = {
+        "single": {"decisions_per_second": 100.0},
+        "legacy": {"events_per_second": 5.0},
+    }
+    new = {"single": {"decisions_per_second": 101.0}}
+    write(tmp_path / "old", "BENCH_serve.json", old)
+    write(tmp_path / "new", "BENCH_serve.json", new)
+    code = bench_compare.main([str(tmp_path / "old"), str(tmp_path / "new")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "::notice title=removed bench metric::" in out
+    assert "legacy.events_per_second" in out
+
+
+def test_removed_artifact_file_is_announced(tmp_path, capsys):
+    write(tmp_path / "old", "BENCH_gone.json", {"x": {"events_per_second": 5.0}})
+    write(tmp_path / "new", "BENCH_serve.json", {"s": {"decisions_per_second": 1.0}})
+    bench_compare.main([str(tmp_path / "old"), str(tmp_path / "new")])
+    out = capsys.readouterr().out
+    assert "removed bench metric" in out and "BENCH_gone.json" in out
+
+
+def test_decisions_per_second_is_a_tracked_marker(tmp_path, capsys):
+    old = {"single": {"decisions_per_second": 400_000.0}}
+    new = {"single": {"decisions_per_second": 100_000.0}}
+    write(tmp_path / "old", "BENCH_serve.json", old)
+    write(tmp_path / "new", "BENCH_serve.json", new)
+    code = bench_compare.main(gate(tmp_path))
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "single.decisions_per_second" in out

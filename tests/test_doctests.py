@@ -11,6 +11,7 @@ import pytest
 import repro.core.discrete_balance
 import repro.core.meanfield
 import repro.core.rounding
+import repro.serve.limiter
 import repro.sim.engine
 import repro.sim.randomness
 
@@ -18,6 +19,7 @@ MODULES = [
     repro.core.discrete_balance,
     repro.core.meanfield,
     repro.core.rounding,
+    repro.serve.limiter,
     repro.sim.engine,
     repro.sim.randomness,
 ]

@@ -1,0 +1,89 @@
+"""ArrivalSpec validation and arrival-schedule generator tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.scenarios import ARRIVAL_PATTERNS, ArrivalSpec
+from repro.serve.arrivals import arrival_times
+
+
+def times(spec, horizon, seed=1):
+    return list(arrival_times(spec, horizon, random.Random(seed)))
+
+
+def test_pattern_names_are_closed():
+    assert ARRIVAL_PATTERNS == ("uniform", "poisson", "flash-crowd")
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(pattern="nope"),
+        dict(rate=0.0),
+        dict(rate=-5.0),
+        dict(pattern="flash-crowd", rate=100.0, peak_rate=10.0),
+        dict(pattern="flash-crowd", start_fraction=1.5),
+        dict(pattern="flash-crowd", window_fraction=0.0),
+        dict(pattern="flash-crowd", decay_fraction=-1.0),
+    ],
+)
+def test_spec_validation(kwargs):
+    with pytest.raises(ValueError):
+        ArrivalSpec(**kwargs)
+
+
+def test_labels_render():
+    assert ArrivalSpec(pattern="poisson", rate=250).label() == "poisson(250/s)"
+    assert "flash-crowd(10->100/s" in ArrivalSpec(
+        pattern="flash-crowd", rate=10, peak_rate=100
+    ).label()
+
+
+def test_uniform_schedule_is_exactly_spaced():
+    schedule = times(ArrivalSpec(pattern="uniform", rate=10.0), horizon=1.0)
+    assert len(schedule) == 9  # first arrival at one gap, none at/after 1.0
+    gaps = [b - a for a, b in zip(schedule, schedule[1:])]
+    assert all(abs(gap - 0.1) < 1e-9 for gap in gaps)
+
+
+def test_poisson_schedule_statistics():
+    spec = ArrivalSpec(pattern="poisson", rate=200.0)
+    schedule = times(spec, horizon=10.0)
+    # 2000 expected; 5 sigma ~ 224
+    assert 1700 < len(schedule) < 2300
+    assert all(0.0 < t < 10.0 for t in schedule)
+    assert schedule == sorted(schedule)
+
+
+def test_schedules_are_deterministic_per_seed():
+    spec = ArrivalSpec(pattern="flash-crowd", rate=50.0, peak_rate=500.0)
+    assert times(spec, 5.0, seed=3) == times(spec, 5.0, seed=3)
+    assert times(spec, 5.0, seed=3) != times(spec, 5.0, seed=4)
+
+
+def test_flash_crowd_concentrates_in_the_window():
+    horizon = 10.0
+    spec = ArrivalSpec(
+        pattern="flash-crowd",
+        rate=20.0,
+        peak_rate=600.0,
+        start_fraction=0.4,
+        window_fraction=0.2,
+        decay_fraction=0.1,
+    )
+    schedule = times(spec, horizon)
+    window = [t for t in schedule if 4.0 <= t < 6.0]
+    before = [t for t in schedule if t < 4.0]
+    # in-window density must dwarf the baseline (600/s vs 20/s)
+    assert len(window) > 10 * max(1, len(before))
+    # and the decay tail settles back toward the baseline by the end
+    tail = [t for t in schedule if t >= 9.0]
+    assert len(tail) < len(window) / 5
+
+
+def test_zero_or_negative_horizon_rejected():
+    with pytest.raises(ValueError):
+        times(ArrivalSpec(), horizon=0.0)

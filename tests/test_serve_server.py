@@ -1,0 +1,252 @@
+"""Loopback tests for the admission server, wire protocol and loadgen."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.scenarios import ArrivalSpec
+from repro.serve import (
+    AdmissionServer,
+    TokenAccountLimiter,
+    run_loadgen,
+    wire,
+)
+
+
+def make_limiter(**overrides) -> TokenAccountLimiter:
+    kwargs = dict(strategy="simple", capacity=3, period=50.0, shards=2, seed=1)
+    kwargs.update(overrides)
+    return TokenAccountLimiter(**kwargs)
+
+
+async def start_server(limiter) -> AdmissionServer:
+    return await AdmissionServer(limiter, host="127.0.0.1", port=0).start()
+
+
+# ----------------------------------------------------------------------
+# Wire protocol
+# ----------------------------------------------------------------------
+def test_wire_request_roundtrip():
+    assert wire.parse_request("A alice") == ("A", "alice", True)
+    assert wire.parse_request("A alice n") == ("A", "alice", False)
+    assert wire.parse_request("A alice u") == ("A", "alice", True)
+    assert wire.parse_request("S") == ("S", None, True)
+    assert wire.parse_request("P") == ("P", None, True)
+    assert wire.encode_request("alice") == b"A alice\n"
+    assert wire.encode_request("alice", useful=False) == b"A alice n\n"
+
+
+@pytest.mark.parametrize(
+    "line", ["", "A", "Z key", "A key x", "S extra", "A " + "k" * 300]
+)
+def test_wire_rejects_malformed_requests(line):
+    with pytest.raises(ValueError):
+        wire.parse_request(line)
+
+
+def test_wire_response_roundtrip():
+    assert wire.parse_response("+ reactive 4") == (True, "reactive", 0.0)
+    admitted, reason, retry = wire.parse_response("- 12.500000")
+    assert (admitted, reason, retry) == (False, "exhausted", 12.5)
+    with pytest.raises(ValueError):
+        wire.parse_response("! broken")
+
+
+# ----------------------------------------------------------------------
+# Server
+# ----------------------------------------------------------------------
+def test_server_answers_batched_pipeline_in_order():
+    async def scenario():
+        limiter = make_limiter()  # C=3, long period: exactly 3 admits
+        server = await start_server(limiter)
+        reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+        # five acquires + stats + ping, all in ONE segment
+        writer.write(b"A k\nA k\nA k\nA k\nA k\nS\nP\n")
+        await writer.drain()
+        writer.write_eof()
+        raw = await reader.read()
+        writer.close()
+        await writer.wait_closed()
+        await server.close()
+        return raw.decode().splitlines()
+
+    lines = asyncio.run(scenario())
+    assert len(lines) == 7
+    decisions = [wire.parse_response(line)[0] for line in lines[:5]]
+    assert decisions == [True, True, True, False, False]
+    stats = json.loads(lines[5])
+    assert stats["admitted"] == 3 and stats["rejected"] == 2
+    assert stats["keys"] == 1 and "connections" in stats
+    assert lines[6] == "P"
+
+
+def test_server_reports_errors_and_skips_blank_lines():
+    async def scenario():
+        server = await start_server(make_limiter())
+        reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+        writer.write(b"\r\nBOGUS line\nA k\n\n")
+        await writer.drain()
+        writer.write_eof()
+        raw = await reader.read()
+        writer.close()
+        await writer.wait_closed()
+        await server.close()
+        return raw.decode().splitlines()
+
+    lines = asyncio.run(scenario())
+    assert len(lines) == 2
+    assert lines[0].startswith("! ")
+    assert lines[1].startswith("+ ")
+
+
+def test_server_shares_one_limiter_across_connections():
+    async def scenario():
+        limiter = make_limiter()
+        server = await start_server(limiter)
+
+        async def acquire_once():
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            writer.write(wire.encode_request("shared"))
+            await writer.drain()
+            line = await reader.readline()
+            writer.close()
+            await writer.wait_closed()
+            return wire.parse_response(line.decode())[0]
+
+        outcomes = [await acquire_once() for _ in range(5)]
+        await server.close()
+        return outcomes
+
+    # one shared account: 3 tokens total across distinct connections
+    assert asyncio.run(scenario()) == [True, True, True, False, False]
+
+
+def test_server_port_zero_picks_a_free_port():
+    async def scenario():
+        server = await start_server(make_limiter())
+        port = server.port
+        await server.close()
+        return port
+
+    assert asyncio.run(scenario()) > 0
+
+
+# ----------------------------------------------------------------------
+# Loadgen against a live server (the tier-1 smoke required by the issue)
+# ----------------------------------------------------------------------
+def test_loopback_loadgen_smoke():
+    async def scenario():
+        # 4 keys x (C=5 burst + 1 token/0.05s) over 0.6s: the schedule
+        # oversubscribes the allowance so both outcomes appear.
+        limiter = TokenAccountLimiter(
+            "simple", capacity=5, period=0.05, shards=2, seed=1
+        )
+        server = await start_server(limiter)
+        spec = ArrivalSpec(pattern="poisson", rate=400.0)
+        report = await run_loadgen(
+            "127.0.0.1",
+            server.port,
+            spec,
+            duration=0.6,
+            connections=3,
+            keys=4,
+            seed=5,
+        )
+        await server.close()
+        return limiter, report
+
+    limiter, report = asyncio.run(scenario())
+    summary = report.summary
+    assert report.offered > 100
+    assert summary["requests"] == report.offered  # every request answered
+    assert summary["admitted"] + summary["rejected"] == summary["requests"]
+    assert report.errors == 0
+    # the server-side and client-side accounting agree
+    assert limiter.admitted == int(summary["admitted"])
+    assert limiter.rejected == int(summary["rejected"])
+    # admission control actually limited the oversubscribed load
+    assert summary["rejected"] > 0
+    assert summary["latency_p99_ms"] >= summary["latency_p50_ms"] > 0.0
+    assert report.admitted_per_second, "admitted-over-time series missing"
+
+
+def test_loadgen_flash_crowd_pattern_rejects_the_burst():
+    async def scenario():
+        limiter = TokenAccountLimiter(
+            "generalized", spend_rate=2, capacity=4, period=0.05, shards=2, seed=1
+        )
+        server = await start_server(limiter)
+        spec = ArrivalSpec(
+            pattern="flash-crowd",
+            rate=60.0,
+            peak_rate=1500.0,
+            start_fraction=0.3,
+            window_fraction=0.2,
+        )
+        report = await run_loadgen(
+            "127.0.0.1", server.port, spec, duration=0.8, connections=2, keys=2, seed=9
+        )
+        await server.close()
+        return report
+
+    report = asyncio.run(scenario())
+    # the crowd window oversubscribes 2 keys' allowance massively: the
+    # §3.4 ceiling must show up as rejections, not melted latency
+    assert report.summary["rejected"] > report.summary["admitted"]
+    assert report.summary["latency_p99_ms"] < 1000.0
+    assert report.errors == 0
+
+
+def test_loadgen_survives_a_mid_run_disconnect():
+    """A vanishing server yields a partial report, not a crash.
+
+    Everything answered before the disconnect stays measured; the
+    unanswered remainder is counted in ``report.errors``.
+    """
+
+    async def scenario():
+        answered = 8
+
+        async def flaky_handler(reader, writer):
+            # answer the first few requests, then hang up mid-run
+            for _ in range(answered):
+                line = await reader.readline()
+                if not line:
+                    break
+                writer.write(b"+ reactive 1\n")
+                await writer.drain()
+            writer.close()
+
+        server = await asyncio.start_server(flaky_handler, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        spec = ArrivalSpec(pattern="uniform", rate=200.0)
+        report = await run_loadgen(
+            "127.0.0.1", port, spec, duration=0.5, connections=1, keys=2, seed=1
+        )
+        server.close()
+        await server.wait_closed()
+        return report
+
+    report = asyncio.run(scenario())
+    assert report.offered == 99  # 200/s over 0.5s, open-loop
+    assert report.summary["requests"] == 8  # the answered prefix survives
+    assert report.summary["admitted"] == 8
+    assert report.errors == report.offered - 8  # the rest is accounted for
+
+
+def test_run_server_duration_returns():
+    from repro.serve import run_server
+
+    async def scenario():
+        limiter = make_limiter()
+        notes = []
+        await run_server(
+            limiter, host="127.0.0.1", port=0, duration=0.05, announce=notes.append
+        )
+        return notes
+
+    notes = asyncio.run(scenario())
+    assert len(notes) == 1 and "admission control" in notes[0]
