@@ -9,13 +9,20 @@ not simulated events:
 * **sharded**: several threads over a sharded table, the embeddable
   concurrent configuration (GIL-bound, so this measures contention
   overhead rather than parallel speedup);
+* **batch single-shard**: the same decision stream through
+  ``try_acquire_many`` — the batched-API speedup over scalar calls,
+  best-of-repeats interleaved so machine noise hits both sides;
 * **loopback server**: decisions/sec through the full asyncio TCP
-  server + pipelined loadgen stack on localhost.
+  server + *text* loadgen stack on localhost (in-process);
+* **loopback binary**: the same stack over the length-prefixed binary
+  protocol with deep pipelining, against a **subprocess** server so
+  client and server each get a core — the deployment shape.
 
 Acceptance: the single-process limiter must sustain >= 50,000
-decisions/sec on the CI preset. Results land in
-``artifacts/BENCH_serve.json`` (uploaded by CI, diffed against the
-previous run by ``scripts/bench_compare.py`` under the fail-on-
+decisions/sec on the CI preset, the batched API >= 2x the scalar rate,
+and the binary pipelined loopback >= 1.5x the text loopback. Results
+land in ``artifacts/BENCH_serve.json`` (uploaded by CI, diffed against
+the previous run by ``scripts/bench_compare.py`` under the fail-on-
 regression gate).
 """
 
@@ -24,6 +31,9 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import re
+import subprocess
+import sys
 import threading
 import time
 from pathlib import Path
@@ -107,6 +117,63 @@ def _sharded(ops: int) -> dict:
     }
 
 
+#: wire-sized batches: the server's binary drain hands the limiter runs
+#: of a few hundred keys, so the batch row measures that shape
+BATCH_SIZE = 256
+BATCH_REPEATS = 3
+#: the acceptance floor for the batched-over-scalar speedup
+BATCH_SPEEDUP_TARGET = 2.0
+
+
+def _batch_single_shard(ops: int) -> dict:
+    """Scalar vs ``try_acquire_many`` on identical key sequences.
+
+    Interleaved best-of-repeats: each repeat times a fresh limiter per
+    side over the same decision stream, and the best elapsed per side
+    is compared — CPU-frequency and scheduler noise then has to bias
+    *every* repeat of one side to fake a speedup.
+    """
+    names = [f"bench-0-{i}" for i in range(64)]
+    chunks = [
+        [names[(base + i) % 64] for i in range(BATCH_SIZE)]
+        for base in range(0, 64, 16)
+    ]
+    rounds = max(1, ops // (BATCH_SIZE * len(chunks)))
+    decisions = rounds * len(chunks) * BATCH_SIZE
+
+    def scalar_pass() -> float:
+        limiter = _limiter(shards=1)
+        acquire = limiter.try_acquire
+        started = time.perf_counter()
+        for _ in range(rounds):
+            for chunk in chunks:
+                for key in chunk:
+                    acquire(key)
+        return time.perf_counter() - started
+
+    def batch_pass() -> float:
+        limiter = _limiter(shards=1)
+        acquire_many = limiter.try_acquire_many
+        started = time.perf_counter()
+        for _ in range(rounds):
+            for chunk in chunks:
+                acquire_many(chunk)
+        return time.perf_counter() - started
+
+    scalar_best = batch_best = float("inf")
+    for _ in range(BATCH_REPEATS):
+        scalar_best = min(scalar_best, scalar_pass())
+        batch_best = min(batch_best, batch_pass())
+    return {
+        "decisions": decisions,
+        "batch_size": BATCH_SIZE,
+        "elapsed_seconds": batch_best,
+        "decisions_per_second": decisions / batch_best,
+        "scalar_decisions_per_second": decisions / scalar_best,
+        "speedup_vs_scalar": scalar_best / batch_best,
+    }
+
+
 #: offered load for the loopback row, far above what one asyncio server
 #: process sustains — the open-loop schedule then finishes early and the
 #: run's elapsed time is set by the *server*, so decisions/elapsed is
@@ -144,18 +211,100 @@ def _loopback_server(requests: int) -> dict:
     return asyncio.run(run())
 
 
+#: the binary row saturates on purpose: offered far above capacity with
+#: a deep pipeline, so decisions/elapsed is the sustained server rate
+BINARY_OFFERED_RATE = 300_000.0
+BINARY_PIPELINE = 2048
+BINARY_REQUESTS = {"smoke": 20_000, "ci": 200_000, "medium": 600_000, "paper": 1_200_000}
+#: binary pipelined loopback must beat the text loopback by this factor
+BINARY_SPEEDUP_TARGET = 1.5
+_ANNOUNCE = re.compile(r"on 127\.0\.0\.1:(\d+)")
+
+
+def _loopback_binary(requests: int) -> dict:
+    """Binary pipelined loadgen against a ``repro serve`` subprocess.
+
+    A separate server process is the deployment shape (and, on a
+    multi-core box, lets client and server run in parallel instead of
+    interleaving on one event loop like the text row).
+    """
+    src = Path(__file__).resolve().parents[1] / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--strategy", "generalized", "-A", "5", "-C", "50",
+            "--period", "0.0005", "--shards", "1", "--max-keys", "4096",
+            "--host", "127.0.0.1", "--port", "0",
+            "--duration", "300", "--seed", "1",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        port = None
+        assert server.stdout is not None
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            line = server.stdout.readline()
+            if not line:
+                break
+            match = _ANNOUNCE.search(line)
+            if match:
+                port = int(match.group(1))
+                break
+        assert port, "server subprocess never announced its port"
+        spec = ArrivalSpec(pattern="uniform", rate=BINARY_OFFERED_RATE)
+        report = asyncio.run(
+            run_loadgen(
+                "127.0.0.1",
+                port,
+                spec,
+                duration=requests / BINARY_OFFERED_RATE,
+                connections=4,
+                keys=64,
+                seed=1,
+                protocol="binary",
+                pipeline=BINARY_PIPELINE,
+            )
+        )
+    finally:
+        server.terminate()
+        server.wait(timeout=10)
+    assert report.errors == 0, f"binary run had {report.errors} protocol errors"
+    completed = int(report.summary.get("requests", 0))
+    return {
+        "decisions": completed,
+        "elapsed_seconds": report.elapsed,
+        "decisions_per_second": completed / report.elapsed,
+        "latency_p50_ms": report.summary.get("latency_p50_ms", 0.0),
+        "latency_p99_ms": report.summary.get("latency_p99_ms", 0.0),
+        "connections": 4,
+        "pipeline": BINARY_PIPELINE,
+    }
+
+
 def test_serve_throughput_artifact(benchmark, scale):
     ops = OPS.get(scale.name, OPS["ci"])
     single = benchmark.pedantic(lambda: _single_shard(ops), rounds=1, iterations=1)
+    batch = _batch_single_shard(ops)
     sharded = _sharded(ops)
     server_row = _loopback_server(SERVER_REQUESTS.get(scale.name, 10_000))
+    binary_row = _loopback_binary(BINARY_REQUESTS.get(scale.name, 200_000))
 
     document = {
         "format": "repro-bench-serve-v1",
         "target_decisions_per_second": DECISIONS_TARGET,
         "single_shard": single,
+        "batch_single_shard": batch,
         "sharded": sharded,
         "loopback_server": server_row,
+        "loopback_binary": binary_row,
     }
     ARTIFACT.parent.mkdir(parents=True, exist_ok=True)
     ARTIFACT.write_text(json.dumps(document, indent=2), encoding="utf-8")
@@ -166,15 +315,36 @@ def test_serve_throughput_artifact(benchmark, scale):
         f"({single['decisions']:,} ops, admitted {single['admitted_fraction']:.1%})"
     )
     print(
+        f"  batched      {batch['decisions_per_second']:>12,.0f} decisions/s "
+        f"({batch['speedup_vs_scalar']:.2f}x scalar)"
+    )
+    print(
         f"  sharded x{THREADS}  {sharded['decisions_per_second']:>12,.0f} decisions/s"
     )
     print(
         f"  loopback TCP {server_row['decisions_per_second']:>12,.0f} decisions/s "
-        f"(p99 {server_row['latency_p99_ms']:.2f}ms)  (artifact: {ARTIFACT})"
+        f"(text, p99 {server_row['latency_p99_ms']:.2f}ms)"
+    )
+    print(
+        f"  loopback bin {binary_row['decisions_per_second']:>12,.0f} decisions/s "
+        f"(pipeline {BINARY_PIPELINE}, p50 {binary_row['latency_p50_ms']:.1f}ms)"
+        f"  (artifact: {ARTIFACT})"
     )
 
     assert single["decisions_per_second"] >= DECISIONS_TARGET, (
         f"single-process limiter must sustain {DECISIONS_TARGET:,.0f} decisions/s; "
         f"measured {single['decisions_per_second']:,.0f}"
     )
+    assert batch["speedup_vs_scalar"] >= BATCH_SPEEDUP_TARGET, (
+        f"try_acquire_many must be >= {BATCH_SPEEDUP_TARGET}x the scalar rate; "
+        f"measured {batch['speedup_vs_scalar']:.2f}x"
+    )
     assert server_row["decisions"] > 0 and server_row["decisions_per_second"] > 0
+    assert binary_row["decisions_per_second"] >= (
+        BINARY_SPEEDUP_TARGET * server_row["decisions_per_second"]
+    ), (
+        "binary pipelined loopback must beat the text loopback "
+        f">= {BINARY_SPEEDUP_TARGET}x: "
+        f"{binary_row['decisions_per_second']:,.0f} vs "
+        f"{server_row['decisions_per_second']:,.0f} decisions/s"
+    )

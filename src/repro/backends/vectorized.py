@@ -74,47 +74,20 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.backends.base import BackendUnsupportedError, SimulationBackend
+from repro.core.kernel import DecisionKernel, strategy_tables as _strategy_tables
 from repro.core.ratelimit import RateLimitViolation, burst_bound
 from repro.metrics.series import TimeSeries
 from repro.sim.network import NetworkStats
 from repro.sim.randomness import RandomStreams
 
 if TYPE_CHECKING:  # pragma: no cover - types only
-    from repro.core.strategies import Strategy
     from repro.scenarios import ScenarioSpec
 
 #: rejection-sampling rounds before the exact online-neighbor fallback
 _REJECTION_ROUNDS = 8
 
-#: lookup-table span for strategies without a finite capacity (their
-#: balance is unbounded; the built-in overdraft reference is
-#: balance-independent, so clipping the index is exact)
-_UNBOUNDED_LUT_SPAN = 64
-
 #: applications the vectorized kernels implement
 _SUPPORTED_APPS = ("push-gossip",)
-
-
-def _strategy_tables(
-    strategy: "Strategy",
-) -> Tuple[int, np.ndarray, np.ndarray, np.ndarray]:
-    """Lookup tables ``proactive[a]``, ``reactive[a, u]`` over balances.
-
-    Returns ``(max_balance, proactive, reactive_useful, reactive_useless)``
-    with tables indexed by ``clip(balance, 0, max_balance)``. For
-    capacity-bounded strategies the balance lives in ``[0, C]`` by
-    construction, so the tables are exact; for overdraft strategies the
-    clipped lookup is exact because their functions ignore the balance.
-    """
-    capacity = strategy.token_capacity
-    max_balance = capacity if capacity is not None else _UNBOUNDED_LUT_SPAN
-    balances = range(max_balance + 1)
-    proactive = np.array([strategy.proactive(a) for a in balances], dtype=np.float64)
-    useful = np.array([strategy.reactive(a, True) for a in balances], dtype=np.float64)
-    useless = np.array(
-        [strategy.reactive(a, False) for a in balances], dtype=np.float64
-    )
-    return max_balance, proactive, useful, useless
 
 
 def _overlay_csr(overlay) -> Tuple[np.ndarray, np.ndarray]:
@@ -233,23 +206,16 @@ class _PushGossipKernel:
         self.strategy = strategy
         self.capacity = strategy.token_capacity
         self.overdraft = strategy.requires_overdraft
-        (
-            self.lut_max,
-            self.pro_lut,
-            react_useful,
-            react_useless,
-        ) = _strategy_tables(strategy)
-        # The reactive tables are fused for the hot path: one table pair
-        # over the key ``balance + useful·(C+1)`` holding the integer
-        # part and the randRound fraction, so a reaction batch costs two
-        # gathers and one Bernoulli draw.
-        fused = np.concatenate([react_useless, react_useful])
-        self.react_int_lut = np.floor(fused).astype(np.int64)
-        self.react_frac_lut = fused - np.floor(fused)
-        self.lut_span = self.lut_max + 1
+        # The shared Algorithm-4 kernel (repro.core.kernel): the same
+        # object the serving layer decides with, holding the fused
+        # strategy LUTs, so a reaction batch costs two gathers and one
+        # Bernoulli draw.
+        self.kernel: DecisionKernel = strategy.decision_kernel
+        self.lut_max = self.kernel.lut_max
+        self.pro_lut = self.kernel.pro_lut
         #: strategies that never react (the purely proactive baseline)
         #: skip the reaction machinery per delivery batch entirely
-        self.can_react = bool(fused.max() > 0.0)
+        self.can_react = self.kernel.can_react
         #: message-index claim buffer for one-arrival-per-dst selection
         self._claim = np.full(n, -1, dtype=np.int64)
 
@@ -634,11 +600,10 @@ class _PushGossipKernel:
         whole hop.
         """
         balances = self.balance[nodes]
-        key = self._lut_index(balances) + useful * self.lut_span
-        # randRound: integer part + Bernoulli(fraction)
-        count = self.react_int_lut[key] + (
-            self.rng.random(len(key)) < self.react_frac_lut[key]
-        )
+        # randRound: integer part + Bernoulli(fraction), via the shared
+        # kernel's fused LUTs (one uniform per arrival, the historical
+        # draw pattern — existing seeds stay bit-identical)
+        count = self.kernel.reaction_counts(balances, useful, self.rng)
         if not self.overdraft:
             np.minimum(count, balances, out=count)
         spending = count > 0
@@ -672,11 +637,7 @@ class _PushGossipKernel:
     # Bookkeeping
     # ------------------------------------------------------------------
     def _lut_index(self, balances: np.ndarray) -> np.ndarray:
-        if not self.overdraft:
-            # Guarded balances live in [0, C] by construction (grants
-            # clamp, withdrawals never overdraw): index directly.
-            return balances
-        return np.clip(balances, 0, self.lut_max)
+        return self.kernel.lut_index(balances)
 
     def _bank(self, nodes: np.ndarray) -> None:
         """Grant the round's token(s) to the given nodes, clamped at C."""

@@ -530,7 +530,9 @@ def _command_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.serve import TokenAccountLimiter, run_server
+    from repro.serve.event_loop import install_event_loop
 
+    print(f"event loop: {install_event_loop(args.uvloop)}")
     limiter = TokenAccountLimiter(
         args.strategy,
         period=args.period,
@@ -566,7 +568,10 @@ def _command_loadgen(args: argparse.Namespace) -> int:
 
     from repro.scenarios import ArrivalSpec
     from repro.serve import run_loadgen
+    from repro.serve.event_loop import install_event_loop
 
+    if args.uvloop:
+        print(f"event loop: {install_event_loop(True)}")
     spec = ArrivalSpec(
         pattern=args.pattern,
         rate=args.rate,
@@ -584,6 +589,8 @@ def _command_loadgen(args: argparse.Namespace) -> int:
                 connections=args.connections,
                 keys=args.keys,
                 seed=args.seed,
+                protocol=args.protocol,
+                pipeline=args.pipeline,
             )
         )
     except OSError as error:
@@ -833,6 +840,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="serve for this many seconds then exit (default: run forever)",
     )
+    serve_parser.add_argument(
+        "--uvloop",
+        action="store_true",
+        help="use uvloop when installed (falls back to asyncio, and the "
+        "startup line names the event loop that actually won)",
+    )
     serve_parser.set_defaults(handler=_command_serve)
 
     loadgen_parser = commands.add_parser(
@@ -870,6 +883,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--keys", type=int, default=16, help="distinct account keys to spread over"
     )
     loadgen_parser.add_argument("--seed", type=int, default=1)
+    loadgen_parser.add_argument(
+        "--protocol",
+        choices=("text", "binary"),
+        default="text",
+        help="wire protocol to speak (binary = length-prefixed framing)",
+    )
+    loadgen_parser.add_argument(
+        "--pipeline",
+        type=int,
+        default=0,
+        metavar="N",
+        help="cap in-flight requests per connection (0 = unbounded)",
+    )
+    loadgen_parser.add_argument(
+        "--uvloop",
+        action="store_true",
+        help="use uvloop when installed (falls back to asyncio)",
+    )
     loadgen_parser.add_argument(
         "--save",
         type=str,

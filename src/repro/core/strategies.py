@@ -35,10 +35,12 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
-from repro.core.rounding import rand_round
 from repro.registry import ParamSpec, strategies as strategy_registry
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.core.kernel import DecisionKernel
 
 #: shared (A, C) parameter schema of the token account strategies
 _AC_PARAMS = (
@@ -88,6 +90,23 @@ class Strategy(ABC):
     # phrased for admission control: an incoming request plays the role
     # of an incoming message.
     # ------------------------------------------------------------------
+    @property
+    def decision_kernel(self) -> "DecisionKernel":
+        """This strategy's cached Algorithm-4 decision kernel.
+
+        One :class:`~repro.core.kernel.DecisionKernel` per strategy
+        instance, built lazily: both the serving layer (scalar and
+        batched admission) and the vectorized simulation backend run
+        their decisions through this single object.
+        """
+        kernel = getattr(self, "_decision_kernel", None)
+        if kernel is None:
+            from repro.core.kernel import DecisionKernel
+
+            kernel = DecisionKernel(self)
+            self._decision_kernel = kernel
+        return kernel
+
     def admission_decision(
         self, balance: int, useful: bool, rng: random.Random
     ) -> Optional[str]:
@@ -104,13 +123,13 @@ class Strategy(ABC):
         Used by :class:`repro.serve.TokenAccountLimiter`, which layers
         the §3.4-preserving resource accounting on top. The hook is pure:
         all limiter state (accounts, tick anchors) stays with the caller.
+        It is the batch of one of
+        :meth:`repro.core.kernel.DecisionKernel.decide_many` and always
+        consumes exactly two uniforms from ``rng`` (the kernel's RNG
+        contract, which is what makes scalar/batch equivalence exactly
+        testable).
         """
-        if rand_round(self.reactive(balance, useful), rng) >= 1:
-            return "reactive"
-        probability = self.proactive(balance)
-        if probability >= 1.0 or (probability > 0.0 and rng.random() < probability):
-            return "proactive"
-        return None
+        return self.decision_kernel.decide_one(balance, useful, rng)
 
     def describe(self) -> str:
         """Human-readable label used in experiment reports."""

@@ -10,12 +10,18 @@ bridge from reproducing the paper to serving real traffic with it:
 * :mod:`repro.serve.clock` — injectable time sources
   (:class:`ManualClock` for deterministic tests);
 * :mod:`repro.serve.wire` + :mod:`repro.serve.server` — the batched
-  asyncio TCP admission server (``repro serve``);
+  asyncio TCP admission server (``repro serve``), speaking both the
+  text line protocol and the length-prefixed binary framing on one
+  port (first-byte version negotiation);
 * :mod:`repro.serve.arrivals` + :mod:`repro.serve.loadgen` — the
-  open-loop Poisson / flash-crowd load generator (``repro loadgen``).
+  open-loop Poisson / flash-crowd load generator (``repro loadgen``),
+  speaking either protocol with optional pipelining;
+* :mod:`repro.serve.event_loop` — optional uvloop installation with
+  graceful fallback (``--uvloop``).
 """
 
 from repro.serve.clock import Clock, ManualClock, monotonic_clock
+from repro.serve.event_loop import install_event_loop
 from repro.serve.limiter import Decision, TokenAccountLimiter
 from repro.serve.loadgen import LoadgenReport, run_loadgen
 from repro.serve.server import AdmissionServer, run_server
@@ -29,6 +35,7 @@ __all__ = [
     "ManualClock",
     "ShardedTable",
     "TokenAccountLimiter",
+    "install_event_loop",
     "monotonic_clock",
     "run_loadgen",
     "run_server",

@@ -1,0 +1,32 @@
+"""Optional uvloop installation with graceful fallback.
+
+uvloop (when installed) roughly doubles asyncio's socket throughput,
+which matters at the binary path's request rates — but it is an
+optional dependency and many deployments (including this repo's CI
+image) run without it. :func:`install_event_loop` encapsulates the
+try/fallback so ``repro serve --uvloop`` and ``repro loadgen --uvloop``
+share one behavior: ask for it, get it when available, and always
+*log which loop actually won* so a benchmark artifact is attributable
+to the event loop that produced it.
+"""
+
+from __future__ import annotations
+
+
+def install_event_loop(uvloop_requested: bool = False) -> str:
+    """Install the best available event-loop policy; name the winner.
+
+    With ``uvloop_requested`` false this is a no-op returning
+    ``"asyncio"``. With it true, uvloop's policy is installed when the
+    package imports, else stock asyncio stays and the returned name
+    says why — callers print it at startup so every run records the
+    loop it actually used. Call before ``asyncio.run``.
+    """
+    if not uvloop_requested:
+        return "asyncio"
+    try:
+        import uvloop  # type: ignore[import-not-found]
+    except ImportError:
+        return "asyncio (uvloop requested but not installed)"
+    uvloop.install()
+    return f"uvloop {getattr(uvloop, '__version__', '')}".strip()

@@ -46,13 +46,16 @@ for rate limiters and both inside the bound:
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.core.account import TokenAccount
 from repro.core.strategies import Strategy, make_strategy
 from repro.serve.clock import Clock, monotonic_clock
-from repro.serve.table import KeyState, ShardedTable
+from repro.serve.table import KeyState, Shard, ShardedTable
 
 #: scale-relative tolerance for tick-grid comparisons — the same idea as
 #: the auditor's window-edge epsilon: ``anchor + k·Δ`` accumulates float
@@ -60,7 +63,7 @@ from repro.serve.table import KeyState, ShardedTable
 _TICK_EPSILON = 1e-9
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, init=False)
 class Decision:
     """The outcome of one :meth:`TokenAccountLimiter.try_acquire` call.
 
@@ -68,6 +71,11 @@ class Decision:
     (which Algorithm-4 branch granted the send) and ``"exhausted"`` for
     rejections. ``retry_after`` is the caller's backoff hint: seconds
     until the key's next token accrues (``None`` on admission).
+
+    :meth:`to_wire` / :meth:`from_wire` are the text-protocol codec —
+    the one place a decision's line format lives (the binary framing is
+    :func:`repro.serve.wire.encode_decision_binary`, built from the
+    same fields).
     """
 
     admitted: bool
@@ -77,8 +85,57 @@ class Decision:
     balance: int
     retry_after: Optional[float] = None
 
+    # Hand-rolled init: the limiter constructs one Decision per request
+    # on the hot path, where dataclass-generated frozen __init__ (one
+    # object.__setattr__ per field) costs ~2.5x this. Field order and
+    # defaults match the declarations above.
+    def __init__(
+        self,
+        admitted: bool,
+        key: str,
+        reason: str,
+        balance: int,
+        retry_after: Optional[float] = None,
+    ):
+        self.__dict__["admitted"] = admitted
+        self.__dict__["key"] = key
+        self.__dict__["reason"] = reason
+        self.__dict__["balance"] = balance
+        self.__dict__["retry_after"] = retry_after
+
     def __bool__(self) -> bool:
         return self.admitted
+
+    # ------------------------------------------------------------------
+    def to_wire(self) -> bytes:
+        """This decision as its text-protocol response line."""
+        if self.admitted:
+            return f"+ {self.reason} {self.balance}\n".encode()
+        retry = self.retry_after if self.retry_after is not None else 0.0
+        return f"- {retry:.6f}\n".encode()
+
+    @classmethod
+    def from_wire(cls, line: Union[str, bytes], key: str = "") -> "Decision":
+        """Parse a text-protocol response line back into a Decision.
+
+        The line format does not carry the key (responses are matched
+        to requests by order), so the caller supplies it; rejection
+        lines carry no balance, which parses as 0. Error lines (``!``)
+        raise ``ValueError``.
+        """
+        if isinstance(line, (bytes, bytearray, memoryview)):
+            line = bytes(line).decode("ascii", "replace")
+        parts = line.split()
+        if not parts:
+            raise ValueError("empty response")
+        if parts[0] == "+":
+            reason = parts[1] if len(parts) > 1 else ""
+            balance = int(parts[2]) if len(parts) > 2 else 0
+            return cls(True, key, reason, balance)
+        if parts[0] == "-":
+            retry = float(parts[1]) if len(parts) > 1 else 0.0
+            return cls(False, key, "exhausted", 0, retry)
+        raise ValueError(f"server error: {line.strip()}")
 
 
 class TokenAccountLimiter:
@@ -154,6 +211,15 @@ class TokenAccountLimiter:
         self._table = ShardedTable(shards=shards, max_keys=max_keys)
         self._clock = clock
         self._rng = random.Random(seed)
+        #: the shared Algorithm-4 kernel (also used by the vectorized
+        #: simulation backend) — scalar decisions and batched
+        #: ``decide_many`` both run through it
+        self._kernel = self.strategy.decision_kernel
+        # Batch decisions draw from a NumPy generator (decide_many's
+        # columnar draws); the lock covers it across shards, since
+        # unlike the per-shard state the RNG is limiter-global.
+        self._np_rng = np.random.default_rng(seed)
+        self._np_rng_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def _new_account(self) -> TokenAccount:
@@ -187,6 +253,42 @@ class TokenAccountLimiter:
             return 0.0
         return max(0.0, state.anchor + self.period - now)
 
+    def _settle(
+        self,
+        shard: Shard,
+        state: KeyState,
+        key: str,
+        verdict: Optional[str],
+        now: float,
+    ) -> Decision:
+        """Apply one kernel verdict to the key's account (§3.4 accounting).
+
+        Shared by the scalar and batched paths: the caller holds the
+        shard lock and has already advanced the account to ``now``.
+        """
+        account = state.account
+        if verdict is not None:
+            if account.balance >= 1 or account.allow_overdraft:
+                # Both branches spend a banked token when one exists:
+                # the proactive send consumes the round's token in the
+                # paper too (only the skipped round banks it).
+                account.withdraw(1)
+                shard.admitted += 1
+                return Decision(True, key, verdict, account.balance)
+            if verdict == "proactive":
+                # Token-less proactive slot (capacity-0 strategies):
+                # at most one admission per period, the wall-clock
+                # form of "one proactive send per round".
+                last = state.last_proactive
+                if last is None or now - last >= self.period * (1.0 - _TICK_EPSILON):
+                    state.last_proactive = now
+                    shard.admitted += 1
+                    return Decision(True, key, "proactive", account.balance)
+        shard.rejected += 1
+        return Decision(
+            False, key, "exhausted", account.balance, self._retry_after(state, now)
+        )
+
     # ------------------------------------------------------------------
     def try_acquire(
         self, key: str, useful: bool = True, now: Optional[float] = None
@@ -197,41 +299,208 @@ class TokenAccountLimiter:
         for low-priority traffic and the generalized strategy spends
         tokens at half rate on it (the randomized strategy rejects it
         outright when not proactively due). ``now`` overrides the clock
-        for this call (tests and replay).
+        for this call (tests and replay); a ``now`` earlier than the
+        key's last decision clamps forward to it — backwards time must
+        not corrupt the tick anchor or re-arm the proactive slot.
         """
         if now is None:
             now = self._clock()
         shard = self._table.shard_for(key)
         with shard.lock:
             state = shard.get_or_create(key, self._new_account, now)
+            if now < state.last_now:
+                now = state.last_now
+            else:
+                state.last_now = now
             self._advance(state, now)
+            verdict = self._kernel.decide_one(
+                state.account.balance, useful, self._rng
+            )
+            return self._settle(shard, state, key, verdict, now)
+
+    def try_acquire_many(
+        self,
+        keys: Sequence[str],
+        useful: Union[bool, Sequence[bool]] = True,
+        now: Optional[float] = None,
+    ) -> List[Decision]:
+        """Batched admission: one :class:`Decision` per key, in order.
+
+        The batch API the binary wire path rides on: keys are grouped
+        by owning shard, each shard lock is taken **once**, accounts
+        advance in bulk, and the verdicts come from one columnar
+        :meth:`~repro.core.kernel.DecisionKernel.decide_many` call per
+        shard group instead of per-key scalar decisions.
+
+        Semantics match a sequence of :meth:`try_acquire` calls at one
+        ``now`` — the fused per-shard pass settles each position in
+        order, so duplicate keys see the previous occurrence's spend —
+        except that decisions for *different* keys draw from the batch
+        RNG stream in shard order rather than input order. The §3.4
+        burst bound is per key, so it is preserved exactly.
+
+        ``useful`` is one flag for the whole batch or a sequence
+        aligned with ``keys``.
+        """
+        count = len(keys)
+        if not count:
+            return []
+        if now is None:
+            now = self._clock()
+        decisions: List[Optional[Decision]] = [None] * count
+        shards = self._table.shards
+        mask = self._table._mask
+        if mask == 0:
+            groups: Dict[int, List[int]] = {0: list(range(count))}
+        else:
+            # Group input positions by owning shard (same hash routing
+            # as shard_for, one hash per key).
+            groups = {}
+            for position, key in enumerate(keys):
+                index = hash(key) & mask
+                group = groups.get(index)
+                if group is None:
+                    groups[index] = [position]
+                else:
+                    group.append(position)
+        for index, positions in groups.items():
+            shard = shards[index]
+            with shard.lock:
+                self._decide_batch(shard, keys, useful, positions, now, decisions)
+        return decisions  # type: ignore[return-value]
+
+    def _decide_batch(
+        self,
+        shard: Shard,
+        keys: Sequence[str],
+        useful: Union[bool, Sequence[bool]],
+        positions: List[int],
+        now: float,
+        out: List[Optional[Decision]],
+    ) -> None:
+        """Decide one shard's positions, in order, under its lock.
+
+        The batch hot loop. All uniforms for the sub-batch are drawn up
+        front as one ``(n, 2)`` block — row-major, so the stream is
+        bit-identical to ``n`` sequential scalar decisions on the same
+        generator (the kernel's two-draw contract) — and a single fused
+        pass per key then advances the account, decides through the
+        kernel's LUTs and settles. ``get_or_create`` / ``_advance`` /
+        ``_settle`` are inlined for their common cases (key creation,
+        graded usefulness, capacity-0 slots and overdraft still route
+        through the shared methods): at ~1-2 µs per decision the
+        method-call and list-staging overhead of a layered
+        implementation would eat the batch speedup.
+        """
+        n = len(positions)
+        entries_get = shard.entries.get
+        move_to_end = shard.entries.move_to_end
+        get_or_create = shard.get_or_create
+        new_account = self._new_account
+        settle = self._settle
+        period = self.period
+        cap = self.strategy.token_capacity
+        # Plain token bucket (finite positive capacity): no overdraft
+        # and no capacity-0 proactive slot, so rejects inline too.
+        plain = cap is not None and cap > 0
+        kernel = self._kernel
+        int_lut = kernel._int_list
+        frac_lut = kernel._frac_list
+        pro_lut = kernel._pro_list
+        span = kernel.lut_span
+        lut_max = kernel.lut_max
+        decide_drawn = kernel.decide_one_drawn
+        scalar_useful = useful is True or useful is False
+        with self._np_rng_lock:
+            draws = self._np_rng.random((n, 2))
+        uniforms = draws.ravel().tolist()
+        alloc = object.__new__
+        admitted = 0
+        rejected = 0
+        cursor = 0
+        for position in positions:
+            key = keys[position]
+            state = entries_get(key)
+            if state is None:
+                state = get_or_create(key, new_account, now)
+            else:
+                move_to_end(key)
+            # stale-now clamp, per key (see try_acquire)
+            key_now = now
+            if key_now < state.last_now:
+                key_now = state.last_now
+            else:
+                state.last_now = key_now
             account = state.account
-            verdict = self.strategy.admission_decision(
-                account.balance, useful, self._rng
-            )
-            if verdict is not None:
-                if account.balance >= 1 or account.allow_overdraft:
-                    # Both branches spend a banked token when one exists:
-                    # the proactive send consumes the round's token in the
-                    # paper too (only the skipped round banks it).
-                    account.withdraw(1)
-                    shard.admitted += 1
-                    return Decision(True, key, verdict, account.balance)
-                if verdict == "proactive":
-                    # Token-less proactive slot (capacity-0 strategies):
-                    # at most one admission per period, the wall-clock
-                    # form of "one proactive send per round".
-                    last = state.last_proactive
-                    if last is None or now - last >= self.period * (
-                        1.0 - _TICK_EPSILON
+            elapsed = key_now - state.anchor
+            if elapsed > 0:
+                ticks = int(elapsed / period + _TICK_EPSILON)
+                if ticks > 0:
+                    # inline _advance + TokenAccount.grant_many
+                    state.anchor += ticks * period
+                    state.ticks_granted += ticks
+                    if cap is not None:
+                        headroom = cap - account.balance
+                        if ticks < headroom:
+                            headroom = ticks
+                        elif headroom < 0:
+                            headroom = 0
+                        ticks = headroom
+                    account.balance += ticks
+                    account.granted += ticks
+            balance = account.balance
+            u_round = uniforms[cursor]
+            u_coin = uniforms[cursor + 1]
+            cursor += 2
+            flag = useful if scalar_useful else useful[position]
+            if (flag is True or flag is False) and 0 <= balance <= lut_max:
+                # inline decide_one_drawn's LUT fast path
+                lut_key = balance + span if flag else balance
+                if int_lut[lut_key] + (u_round < frac_lut[lut_key]) >= 1:
+                    verdict: Optional[str] = "reactive"
+                else:
+                    probability = pro_lut[balance]
+                    if probability >= 1.0 or (
+                        probability > 0.0 and u_coin < probability
                     ):
-                        state.last_proactive = now
-                        shard.admitted += 1
-                        return Decision(True, key, "proactive", account.balance)
-            shard.rejected += 1
-            return Decision(
-                False, key, "exhausted", account.balance, self._retry_after(state, now)
-            )
+                        verdict = "proactive"
+                    else:
+                        verdict = None
+            else:
+                verdict = decide_drawn(balance, flag, u_round, u_coin)
+            if verdict is not None and balance >= 1:
+                # inline _settle's token-spend admit; building the
+                # frozen Decision through object.__new__ + direct
+                # __dict__ stores skips the constructor-call overhead
+                # (retry_after reads fall back to the class default)
+                balance -= 1
+                account.balance = balance
+                account.spent += 1
+                admitted += 1
+                decision = alloc(Decision)
+                fields = decision.__dict__
+                fields["admitted"] = True
+                fields["key"] = key
+                fields["reason"] = verdict
+                fields["balance"] = balance
+                out[position] = decision
+            elif plain and verdict != "proactive":
+                # inline _settle's plain reject (silent verdict, or a
+                # reactive verdict against an empty account)
+                rejected += 1
+                retry = state.anchor + period - key_now
+                decision = alloc(Decision)
+                fields = decision.__dict__
+                fields["admitted"] = False
+                fields["key"] = key
+                fields["reason"] = "exhausted"
+                fields["balance"] = balance
+                fields["retry_after"] = retry if retry > 0.0 else 0.0
+                out[position] = decision
+            else:
+                out[position] = settle(shard, state, key, verdict, key_now)
+        shard.admitted += admitted
+        shard.rejected += rejected
 
     # ------------------------------------------------------------------
     @property

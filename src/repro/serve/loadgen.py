@@ -10,11 +10,25 @@ admission control from polite clients.
 Requests fan out round-robin over ``connections`` persistent TCP
 connections and ``keys`` distinct account keys. Each connection
 pipelines: a writer coroutine flushes every request that is due (one
-``write`` per due batch), while a reader coroutine matches response
-lines FIFO to their send deadlines — the line protocol answers strictly
-in order, so no per-request ids are needed. Latency is measured from
-the *scheduled* arrival time to the response, so scheduler lag and
-server backpressure both count, as they would for a real client.
+``write`` per due batch), while a reader coroutine matches responses
+FIFO to their send deadlines — both wire protocols answer strictly in
+order, so no per-request ids are needed. Latency is measured from the
+*scheduled* arrival time to the response, so scheduler lag and server
+backpressure both count, as they would for a real client.
+
+``protocol`` selects the wire format (``"text"`` lines or the
+length-prefixed ``"binary"`` framing — see :mod:`repro.serve.wire`),
+and ``pipeline`` optionally caps in-flight requests per connection
+(0 = unbounded): a run stays open-loop in its send *schedule* while
+bounding how deep any one connection's response queue can grow.
+
+The binary reader exploits the fixed 17-byte ``DECISION`` frame: a
+pipelined ACQUIRE-only stream is a homogeneous array of records, so
+each socket read is parsed with **one** :func:`numpy.frombuffer` over a
+packed structured dtype (:data:`DECISION_DTYPE`) instead of a Python
+loop — the client-side half of the zero-copy wire path. Any
+non-DECISION frame (stats, error) drops the connection back to the
+generic frame-by-frame parser.
 
 Results aggregate into :class:`repro.metrics.latency.LatencyRecorder`:
 admitted/rejected counts, p50/p95/p99 latency, and an
@@ -25,15 +39,29 @@ through a flash-crowd burst.
 from __future__ import annotations
 
 import asyncio
-from collections import deque
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List
+
+import numpy as np
 
 from repro.metrics.latency import LatencyRecorder
 from repro.scenarios import ArrivalSpec
 from repro.serve import wire
 from repro.serve.arrivals import arrival_times
 from repro.sim.randomness import RandomStreams
+
+#: packed view of one binary DECISION frame (length prefix included) —
+#: field offsets match ``wire.DECISION_STRUCT`` ("<HBBBid") exactly, so
+#: ``np.frombuffer`` turns a run of pipelined responses into columns.
+DECISION_DTYPE = np.dtype(
+    {
+        "names": ["len", "status", "admitted", "reason", "balance", "retry"],
+        "formats": ["<u2", "u1", "u1", "u1", "<i4", "<f8"],
+        "offsets": [0, 2, 3, 4, 5, 9],
+        "itemsize": wire.DECISION_FRAME_SIZE,
+    }
+)
 
 
 @dataclass
@@ -46,15 +74,21 @@ class LoadgenReport:
     #: wall-clock seconds the run actually took (≥ duration under lag)
     elapsed: float = 0.0
     errors: int = 0
+    #: wire protocol the run spoke ("text" or "binary")
+    protocol: str = "text"
+    #: per-connection in-flight cap (0 = unbounded)
+    pipeline: int = 0
     summary: Dict[str, float] = field(default_factory=dict)
     #: admissions per second over the run, bucketed
     admitted_per_second: List[float] = field(default_factory=list)
 
     def format(self) -> str:
         """The human-readable block ``repro loadgen`` prints."""
+        pipelined = f", pipeline {self.pipeline}" if self.pipeline else ""
         lines = [
             f"loadgen {self.spec_label}: offered {self.offered} requests "
-            f"over {self.duration:g}s (elapsed {self.elapsed:.2f}s)",
+            f"over {self.duration:g}s (elapsed {self.elapsed:.2f}s, "
+            f"{self.protocol}{pipelined})",
         ]
         summary = self.summary
         if summary:
@@ -86,6 +120,8 @@ class LoadgenReport:
             "offered": self.offered,
             "elapsed": self.elapsed,
             "errors": self.errors,
+            "protocol": self.protocol,
+            "pipeline": self.pipeline,
             "summary": self.summary,
             "admitted_per_second": self.admitted_per_second,
         }
@@ -98,61 +134,193 @@ async def _connection_worker(
     start: float,
     recorder: LatencyRecorder,
     report: LoadgenReport,
+    protocol: str = "text",
+    pipeline: int = 0,
 ) -> None:
     """Drive one pipelined connection through its slice of the schedule."""
     if not schedule:
         return
     reader, writer = await asyncio.open_connection(host, port)
     loop = asyncio.get_running_loop()
-    pending: deque = deque()
-
-    async def read_responses() -> None:
-        while True:
-            line = await reader.readline()
-            if not line:
-                return
-            due = pending.popleft()
-            try:
-                admitted, _reason, _retry = wire.parse_response(line.decode())
-            except ValueError:
-                report.errors += 1
-                admitted = False
-            recorder.record(loop.time() - (start + due), admitted, at=due)
-            if not pending and consumer_done.is_set():
-                return
-
+    binary = protocol == "binary"
+    total = len(schedule)
+    # Both wire protocols answer strictly in order and the writer sends
+    # in schedule order, so response N belongs to send deadline N: a
+    # cursor into the due-times array replaces per-request bookkeeping.
+    dues = np.fromiter(
+        (due for due, _ in schedule), dtype=np.float64, count=total
+    )
+    due_list = dues.tolist()
+    sent = 0
+    completed = 0
     consumer_done = asyncio.Event()
-    reader_task = asyncio.create_task(read_responses())
-    index = 0
+    #: set by the reader whenever responses complete (or it exits), so
+    #: a pipeline-capped writer can wait for in-flight slots to free up
+    progress = asyncio.Event()
+
+    async def read_text() -> None:
+        nonlocal completed
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                due = due_list[completed]
+                completed += 1
+                try:
+                    admitted, _reason, _retry = wire.parse_response(line.decode())
+                except ValueError:
+                    report.errors += 1
+                    admitted = False
+                recorder.record(loop.time() - (start + due), admitted, at=due)
+                progress.set()
+                if completed >= total and consumer_done.is_set():
+                    return
+        finally:
+            progress.set()  # never leave a capped writer waiting forever
+
+    async def read_binary() -> None:
+        nonlocal completed
+        buffer = bytearray()
+        stride = wire.DECISION_FRAME_SIZE
+        body_length = stride - 2  # u16 length prefix excludes itself
+        decode = wire.decode_response_binary
+        generic = False
+        try:
+            while True:
+                chunk = await reader.read(2**17)
+                if not chunk:
+                    return
+                if buffer:
+                    buffer += chunk
+                    data = buffer
+                else:
+                    data = chunk  # parse straight out of the socket read
+                if not generic:
+                    usable = len(data) - len(data) % stride
+                    if not usable:
+                        if data is not buffer:
+                            buffer += data
+                        continue
+                    view = memoryview(data)[:usable]
+                    frames = np.frombuffer(view, dtype=DECISION_DTYPE)
+                    homogeneous = bool(
+                        (frames["status"] == wire.STATUS_DECISION).all()
+                    ) and bool((frames["len"] == body_length).all())
+                    if homogeneous:
+                        count = usable // stride
+                        admitted = frames["admitted"] != 0
+                        del frames
+                        view.release()
+                        # One timestamp for the burst: every response in
+                        # it arrived in the same socket read.
+                        ats = dues[completed : completed + count]
+                        latencies = (loop.time() - start) - ats
+                        completed += count
+                        recorder.record_arrays(latencies, admitted, ats)
+                        if data is buffer:
+                            del buffer[:usable]
+                        elif usable < len(data):
+                            buffer += data[usable:]
+                        progress.set()
+                        if completed >= total and consumer_done.is_set():
+                            return
+                        continue
+                    # A stats/error/short frame broke the stride: fall
+                    # back to frame-by-frame parsing for good.
+                    del frames
+                    view.release()
+                    generic = True
+                    if data is not buffer:
+                        buffer += data
+                payloads, consumed = wire.split_frames(buffer)
+                if consumed:
+                    del buffer[:consumed]
+                if not payloads:
+                    continue
+                now = loop.time()
+                samples = []
+                for payload in payloads:
+                    due = due_list[completed]
+                    completed += 1
+                    admitted = False
+                    try:
+                        status, value = decode(payload)
+                        if status == wire.STATUS_DECISION:
+                            admitted = value.admitted
+                        else:
+                            report.errors += 1
+                    except ValueError:
+                        report.errors += 1
+                    samples.append((now - (start + due), admitted, due))
+                recorder.record_many(samples)
+                progress.set()
+                if completed >= total and consumer_done.is_set():
+                    return
+        finally:
+            progress.set()
+
+    if binary:
+        writer.write(wire.MAGIC)
+        await writer.drain()
+        try:
+            ack = await reader.readexactly(len(wire.MAGIC))
+        except asyncio.IncompleteReadError:
+            ack = b""
+        if ack != wire.MAGIC:
+            report.errors += total
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            return
+        encode = wire.encode_request_binary
+    else:
+        encode = wire.encode_request
+    # Requests repeat over few keys: encode each key once up front so
+    # the send loop is a slice + join over prebuilt frames.
+    frame_cache: Dict[str, bytes] = {}
+    payloads_out = []
+    for _, key in schedule:
+        frame = frame_cache.get(key)
+        if frame is None:
+            frame = frame_cache[key] = encode(key)
+        payloads_out.append(frame)
+    reader_task = asyncio.create_task(read_binary() if binary else read_text())
     try:
-        while index < len(schedule):
-            due, _ = schedule[index]
-            delay = start + due - loop.time()
+        while sent < total:
+            delay = start + due_list[sent] - loop.time()
             if delay > 0:
                 await asyncio.sleep(delay)
-            # Flush everything that is due by now as one batch write.
-            now = loop.time()
-            batch = []
-            while index < len(schedule) and start + schedule[index][0] <= now:
-                due, key = schedule[index]
-                batch.append(wire.encode_request(key))
-                pending.append(due)
-                index += 1
-            writer.write(b"".join(batch))
-            await writer.drain()
+            while pipeline and sent - completed >= pipeline:
+                if reader_task.done():
+                    raise ConnectionResetError("reader finished early")
+                progress.clear()
+                await progress.wait()
+            # Flush everything that is due by now as one batch write
+            # (bounded by the remaining pipeline room, if capped).
+            stop = sent + pipeline - (sent - completed) if pipeline else total
+            if stop > total:
+                stop = total
+            cutoff = loop.time() - start
+            index = bisect_right(due_list, cutoff, sent, stop)
+            if index > sent:
+                writer.write(b"".join(payloads_out[sent:index]))
+                sent = index
+                await writer.drain()
         consumer_done.set()
-        if pending:
+        if completed < sent:
             await reader_task  # drains until every response arrived, or EOF
         else:
             reader_task.cancel()
     except OSError:
         # The server went away mid-run: keep everything already
         # measured and report the unsent remainder as errors.
-        report.errors += len(schedule) - index
+        report.errors += total - sent
     finally:
         # Requests written but never answered (server EOF mid-batch).
-        report.errors += len(pending)
-        pending.clear()
+        report.errors += sent - completed
         if not reader_task.done():
             reader_task.cancel()
         writer.close()
@@ -171,6 +339,8 @@ async def run_loadgen(
     keys: int = 16,
     seed: int = 1,
     key_prefix: str = "key",
+    protocol: str = "text",
+    pipeline: int = 0,
 ) -> LoadgenReport:
     """Replay ``spec`` against ``host:port`` and measure the outcome.
 
@@ -182,13 +352,21 @@ async def run_loadgen(
         raise ValueError(f"need at least one connection, got {connections}")
     if keys < 1:
         raise ValueError(f"need at least one key, got {keys}")
+    if protocol not in ("text", "binary"):
+        raise ValueError(f"protocol must be 'text' or 'binary', got {protocol!r}")
+    if pipeline < 0:
+        raise ValueError(f"pipeline depth cannot be negative, got {pipeline}")
     rng = RandomStreams(seed).stream("loadgen-arrivals")
     schedule = [
         (due, f"{key_prefix}-{index % keys}")
         for index, due in enumerate(arrival_times(spec, duration, rng))
     ]
     report = LoadgenReport(
-        spec_label=spec.label(), duration=duration, offered=len(schedule)
+        spec_label=spec.label(),
+        duration=duration,
+        offered=len(schedule),
+        protocol=protocol,
+        pipeline=pipeline,
     )
     recorder = LatencyRecorder()
     loop = asyncio.get_running_loop()
@@ -196,7 +374,14 @@ async def run_loadgen(
     await asyncio.gather(
         *(
             _connection_worker(
-                host, port, schedule[worker::connections], start, recorder, report
+                host,
+                port,
+                schedule[worker::connections],
+                start,
+                recorder,
+                report,
+                protocol=protocol,
+                pipeline=pipeline,
             )
             for worker in range(connections)
         )

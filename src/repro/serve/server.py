@@ -5,25 +5,258 @@ connection — the sharded account table is the synchronization point, so
 the asyncio event loop and any worker threads see one consistent token
 state per key.
 
-The hot path is batch-oriented: the reader drains whatever bytes are
-available, answers *every* complete request line in that chunk, and
-flushes all responses with a single ``write`` + ``drain``. A pipelining
-client (like :mod:`repro.serve.loadgen`) therefore amortizes the
-per-syscall and per-drain cost over its batch depth, which is where the
-decisions/sec headline comes from.
+Each connection speaks either wire protocol (see
+:mod:`repro.serve.wire`): the first byte decides. ``0xAB`` — the
+binary hello's sentinel, which no text command starts with — selects
+the length-prefixed binary framing; anything else is served as
+newline-delimited text, so existing text clients keep working
+unchanged.
+
+The hot path is batch-oriented in both modes: the connection protocol
+answers *every* complete request in the received chunk and flushes all
+responses with a single write. On the binary path a run of consecutive
+``ACQUIRE`` frames is decided by **one**
+:meth:`~repro.serve.limiter.TokenAccountLimiter.try_acquire_many`
+call (a ``STATS``/``PING`` frame is the only flush barrier), and the
+response run is packed into one contiguous buffer — so a pipelining
+client like :mod:`repro.serve.loadgen` amortizes syscall, parse *and*
+per-decision lock cost over its pipeline depth. Receive parsing is
+zero-copy: bytes land in a reusable buffer via ``readinto``
+(:class:`asyncio.BufferedProtocol`) and frames are parsed through
+``memoryview`` slices of it.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
-from typing import Optional
+from typing import List, Optional
 
 from repro.serve import wire
 from repro.serve.limiter import TokenAccountLimiter
 
-#: refuse absurd lines early (a client speaking the wrong protocol)
+#: refuse absurd text lines early (a client speaking the wrong protocol)
 _MAX_LINE = 4096
+
+#: per-connection receive buffer; parsed residue is always smaller than
+#: one frame/line (< 4 KiB), so this never needs to grow
+_RECV_BUFFER = 2**16
+
+
+class _AdmissionProtocol(asyncio.BufferedProtocol):
+    """One connection: sniff the protocol version, then serve batches.
+
+    ``BufferedProtocol`` hands the socket a ``memoryview`` into our
+    reusable receive buffer (``readinto`` under the hood — no per-chunk
+    bytes object), and parsing walks the same buffer through views.
+    ``_start``/``_end`` delimit the unparsed region; it is compacted to
+    the front once consumed.
+    """
+
+    def __init__(self, server: "AdmissionServer"):
+        self.server = server
+        self.limiter = server.limiter
+        self.transport: Optional[asyncio.Transport] = None
+        #: None while sniffing the first byte, then "text" or "binary"
+        self.mode: Optional[str] = None
+        self._buffer = bytearray(_RECV_BUFFER)
+        self._view = memoryview(self._buffer)
+        self._start = 0
+        self._end = 0
+
+    # ------------------------------------------------------------------
+    def connection_made(self, transport) -> None:
+        self.server.connections += 1
+        self.transport = transport
+
+    def connection_lost(self, exc) -> None:
+        self.server.connections -= 1
+
+    # Tie the socket's read side to its write side: when the client
+    # stops draining responses, stop accepting more requests instead of
+    # buffering unboundedly.
+    def pause_writing(self) -> None:
+        if self.transport is not None:
+            self.transport.pause_reading()
+
+    def resume_writing(self) -> None:
+        if self.transport is not None:
+            self.transport.resume_reading()
+
+    # ------------------------------------------------------------------
+    def get_buffer(self, sizehint: int) -> memoryview:
+        if self._start and self._start == self._end:
+            self._start = self._end = 0
+        elif len(self._buffer) - self._end < 2048 and self._start:
+            # Compact the unparsed residue (< one frame/line) to the
+            # front; slice assignment, the buffer is never resized.
+            remaining = self._end - self._start
+            self._buffer[:remaining] = self._buffer[self._start : self._end]
+            self._start, self._end = 0, remaining
+        return self._view[self._end :]
+
+    def buffer_updated(self, nbytes: int) -> None:
+        self._end += nbytes
+        if self.mode is None and not self._sniff():
+            return
+        if self.mode == "binary":
+            self._drain_binary()
+        else:
+            self._drain_text()
+
+    # ------------------------------------------------------------------
+    def _sniff(self) -> bool:
+        """Pick the protocol from the first byte; True once decided."""
+        assert self.transport is not None
+        if self._buffer[self._start] != wire.MAGIC[0]:
+            self.mode = "text"
+            return True
+        if self._end - self._start < len(wire.MAGIC):
+            return False  # wait for the whole hello
+        hello = bytes(self._view[self._start : self._start + len(wire.MAGIC)])
+        if hello != wire.MAGIC:
+            # Future (or corrupt) version: answer in text, which every
+            # client can at least log, and drop the connection.
+            self.transport.write(b"! unsupported binary protocol version\n")
+            self.transport.close()
+            return False
+        self.mode = "binary"
+        self._start += len(wire.MAGIC)
+        self.transport.write(wire.MAGIC)  # hello ack
+        return True
+
+    # ------------------------------------------------------------------
+    def _drain_text(self) -> None:
+        """Answer every complete line in the buffer with one write."""
+        assert self.transport is not None
+        last = self._buffer.rfind(b"\n", self._start, self._end)
+        if last < 0:
+            if self._end - self._start > _MAX_LINE:
+                self.transport.write(b"! line too long\n")
+                self.transport.close()
+            return
+        lines = bytes(self._view[self._start : last])
+        self._start = last + 1
+        responses = [
+            self._respond(text)
+            for raw in lines.split(b"\n")
+            # Blank lines (keep-alives, trailing \r\n) get no reply.
+            if (text := raw.decode("ascii", "replace").strip())
+        ]
+        if responses:
+            self.transport.write(b"".join(responses))
+
+    def _respond(self, line: str) -> bytes:
+        """One response line for one request line (the text inner loop)."""
+        try:
+            command, key, useful = wire.parse_request(line)
+        except ValueError as error:
+            return f"! {error}\n".encode()
+        if command == "A":
+            assert key is not None
+            return wire.encode_decision(self.limiter.try_acquire(key, useful))
+        if command == "S":
+            return self._stats_json() + b"\n"
+        return b"P\n"  # liveness echo
+
+    # ------------------------------------------------------------------
+    def _drain_binary(self) -> None:
+        """Answer every complete frame in the buffer with one write.
+
+        Consecutive ``ACQUIRE`` frames become one
+        ``try_acquire_many`` batch answered by one packed response run;
+        ``STATS``/``PING``/malformed frames are the flush barriers.
+        """
+        assert self.transport is not None
+        buffer = self._buffer
+        start = self._start
+        end = self._end
+        view = self._view
+        parse = wire.parse_request_binary
+        out: List[bytes] = []
+        run_keys: List[str] = []
+        run_flags: List[bool] = []
+        keys_append = run_keys.append
+        flags_append = run_flags.append
+        oversized = False
+        acquire_op = wire.OP_ACQUIRE
+        useful_flag = wire.FLAG_USEFUL
+        key_limit = 2 + wire.MAX_KEY_LENGTH
+        while end - start >= 2:
+            length = buffer[start] | (buffer[start + 1] << 8)
+            if length > wire.MAX_FRAME:
+                oversized = True
+                break
+            frame_end = start + 2 + length
+            if frame_end > end:
+                break
+            # ACQUIRE frames dominate a pipelined stream: decode them
+            # inline (opcode + flags + utf-8 key, same semantics as
+            # parse_request_binary) and let everything else take the
+            # generic parser below.
+            if (
+                2 < length <= key_limit
+                and buffer[start + 2] == acquire_op
+            ):
+                keys_append(str(view[start + 4 : frame_end], "utf-8", "replace"))
+                flags_append(bool(buffer[start + 3] & useful_flag))
+                start = frame_end
+                continue
+            payload = view[start + 2 : frame_end]
+            start = frame_end
+            try:
+                command, key, useful = parse(payload)
+            except ValueError as error:
+                self._flush_acquires(run_keys, run_flags, out)
+                out.append(
+                    wire.encode_status_binary(
+                        wire.STATUS_ERROR, str(error).encode()
+                    )
+                )
+                continue
+            if command == "A":
+                assert key is not None
+                run_keys.append(key)
+                run_flags.append(useful)
+            elif command == "S":
+                self._flush_acquires(run_keys, run_flags, out)
+                out.append(
+                    wire.encode_status_binary(wire.STATUS_STATS, self._stats_json())
+                )
+            else:
+                self._flush_acquires(run_keys, run_flags, out)
+                out.append(wire.encode_status_binary(wire.STATUS_PONG))
+        self._flush_acquires(run_keys, run_flags, out)
+        self._start = start
+        if oversized:
+            out.append(
+                wire.encode_status_binary(
+                    wire.STATUS_ERROR,
+                    b"frame exceeds %d bytes" % wire.MAX_FRAME,
+                )
+            )
+            self.transport.write(b"".join(out))
+            self.transport.close()  # cannot resync after a bad prefix
+            return
+        if out:
+            self.transport.write(b"".join(out) if len(out) > 1 else out[0])
+
+    def _flush_acquires(
+        self, keys: List[str], flags: List[bool], out: List[bytes]
+    ) -> None:
+        """Decide a pending ``ACQUIRE`` run in one batched call."""
+        if not keys:
+            return
+        useful = True if all(flags) else list(flags)
+        decisions = self.limiter.try_acquire_many(keys, useful)
+        out.append(wire.encode_decisions_binary(decisions))
+        keys.clear()
+        flags.clear()
+
+    # ------------------------------------------------------------------
+    def _stats_json(self) -> bytes:
+        stats = dict(self.limiter.stats(), connections=self.server.connections)
+        return json.dumps(stats, sort_keys=True).encode()
 
 
 class AdmissionServer:
@@ -51,8 +284,9 @@ class AdmissionServer:
     # ------------------------------------------------------------------
     async def start(self) -> "AdmissionServer":
         """Bind and start accepting connections; resolves :attr:`port`."""
-        self._server = await asyncio.start_server(
-            self._handle, self.host, self.port, limit=2**16
+        loop = asyncio.get_running_loop()
+        self._server = await loop.create_server(
+            lambda: _AdmissionProtocol(self), self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
         return self
@@ -71,58 +305,6 @@ class AdmissionServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-
-    # ------------------------------------------------------------------
-    def _respond(self, line: str) -> bytes:
-        """One response line for one request line (the batch inner loop)."""
-        try:
-            command, key, useful = wire.parse_request(line)
-        except ValueError as error:
-            return f"! {error}\n".encode()
-        if command == "A":
-            assert key is not None
-            return wire.encode_decision(self.limiter.try_acquire(key, useful))
-        if command == "S":
-            stats = dict(self.limiter.stats(), connections=self.connections)
-            return (json.dumps(stats, sort_keys=True) + "\n").encode()
-        return b"P\n"  # liveness echo
-
-    async def _handle(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        """Per-connection loop: drain available lines, answer in one write."""
-        self.connections += 1
-        buffer = b""
-        try:
-            while True:
-                chunk = await reader.read(2**16)
-                if not chunk:
-                    break
-                buffer += chunk
-                if b"\n" not in buffer:
-                    if len(buffer) > _MAX_LINE:
-                        writer.write(b"! line too long\n")
-                        break
-                    continue
-                lines, _, buffer = buffer.rpartition(b"\n")
-                responses = [
-                    self._respond(text)
-                    for raw in lines.split(b"\n")
-                    # Blank lines (keep-alives, trailing \r\n) get no reply.
-                    if (text := raw.decode("ascii", "replace").strip())
-                ]
-                if responses:
-                    writer.write(b"".join(responses))
-                    await writer.drain()
-        except (ConnectionResetError, asyncio.IncompleteReadError):
-            pass  # client vanished mid-batch: nothing to answer
-        finally:
-            self.connections -= 1
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
-                pass
 
 
 async def run_server(

@@ -28,7 +28,7 @@ AccountFactory = Callable[[], TokenAccount]
 class KeyState:
     """One key's account plus its wall-clock tick bookkeeping."""
 
-    __slots__ = ("account", "anchor", "ticks_granted", "last_proactive")
+    __slots__ = ("account", "anchor", "ticks_granted", "last_proactive", "last_now")
 
     def __init__(self, account: TokenAccount, anchor: float):
         #: the §3.1 token account enforcing the balance invariants
@@ -39,6 +39,10 @@ class KeyState:
         self.ticks_granted = 0
         #: last admission through the token-less proactive slot, if any
         self.last_proactive: Optional[float] = None
+        #: latest ``now`` this key has decided at — stale (earlier)
+        #: timestamps clamp forward to it so they cannot corrupt the
+        #: tick anchor or the proactive-slot pacing
+        self.last_now = anchor
 
 
 class Shard:

@@ -1,5 +1,10 @@
-"""The admission server's line protocol, shared by server and clients.
+"""The admission server's wire protocols, shared by server and clients.
 
+Two protocols share one port, negotiated by the first byte of a
+connection (see *Version negotiation* below).
+
+Text protocol (v0)
+------------------
 One request per line, one response line per request, newline-delimited
 ASCII — trivially batchable (a client may write many request lines in a
 single segment and the server answers them in order, in one write):
@@ -8,25 +13,110 @@ single segment and the server answers them in order, in one write):
 request line                   response line
 =============================  ==========================================
 ``A <key>``                    ``+ <reason> <balance>`` (admitted) or
-``A <key> n``                  ``- <retry-after-seconds>`` (rejected)
+``A <key> u``                  ``- <retry-after-seconds>`` (rejected)
+``A <key> n``
 ``S``                          one-line JSON stats document
 ``P``                          ``P`` (liveness echo)
 anything else                  ``! <error message>``
 =============================  ==========================================
 
-``A <key> n`` marks the request *not useful* (Algorithm 4's ``u`` flag);
-the default is useful. Keys are any non-empty token without whitespace
-or newlines, at most :data:`MAX_KEY_LENGTH` bytes.
+``A <key> n`` marks the request *not useful* (Algorithm 4's ``u``
+flag); ``A <key> u`` marks it useful explicitly, which is also the
+default for the bare two-token form. Keys are any non-empty token
+without whitespace or newlines, at most :data:`MAX_KEY_LENGTH` bytes.
+
+Binary protocol (v1)
+--------------------
+Length-prefixed little-endian frames, built for pipelining: a client
+writes a run of request frames and the server answers with one response
+frame per request, in order, flushed together. Every frame is::
+
+    u16 length   -- payload byte count (length prefix excluded)
+    payload      -- one message
+
+Request payloads start with an opcode byte:
+
+=====================  ==================================================
+request payload        meaning
+=====================  ==================================================
+``ACQUIRE flags key``  one admission decision; ``flags`` bit 0 is the
+                       usefulness flag, ``key`` is the UTF-8 key (the
+                       rest of the payload)
+``STATS``              JSON stats document
+``PING``               liveness echo
+=====================  ==================================================
+
+Response payloads start with a status byte: ``DECISION`` responses are
+a fixed 15-byte payload (struct ``<BBBid``: status, admitted, reason
+code, ``i32`` balance, ``f64`` retry-after — 17 bytes on the wire with
+the prefix, :data:`DECISION_FRAME_SIZE`), so a client can parse a
+pipelined burst with one vectorized pass over a 17-byte stride.
+``STATS`` carries the JSON document, ``ERROR`` a human-readable
+message, ``PONG`` is empty.
+
+Version negotiation
+-------------------
+A binary client opens with the 4-byte hello :data:`MAGIC`
+(``ab 54 41 01``: a non-ASCII sentinel, ``"TA"``, version 1) and waits
+for the server to echo it before pumping frames. No text command starts
+with ``0xAB``, so the server sniffs the first byte of a connection:
+``0xAB`` selects the binary path (a bad magic or unknown version gets a
+text ``!`` line and a close), anything else is served as text. Text
+clients keep working unchanged against a binary-capable server.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import struct
+from typing import Optional, Tuple, Union
 
 from repro.serve.limiter import Decision
 
 #: longest accepted key, in characters (one line must stay one MTU-ish)
 MAX_KEY_LENGTH = 256
+
+# ---------------------------------------------------------------------------
+# binary protocol (v1) constants
+# ---------------------------------------------------------------------------
+
+#: binary hello: sentinel byte (never starts a text command), "TA", version
+MAGIC = b"\xabTA\x01"
+
+#: request opcodes
+OP_ACQUIRE = 1
+OP_STATS = 2
+OP_PING = 3
+
+#: response status codes
+STATUS_ERROR = 0
+STATUS_DECISION = 1
+STATUS_STATS = 2
+STATUS_PONG = 3
+
+#: ``ACQUIRE`` flags bit 0: Algorithm 4's usefulness flag
+FLAG_USEFUL = 1
+
+#: decision reason codes <-> the text protocol's reason words
+REASON_NAMES: Tuple[Optional[str], ...] = (None, "reactive", "proactive", "exhausted")
+REASON_CODES = {name: code for code, name in enumerate(REASON_NAMES) if name}
+
+#: a whole decision response frame, length prefix included:
+#: u16 length (=15), status, admitted, reason code, i32 balance, f64 retry
+DECISION_STRUCT = struct.Struct("<HBBBid")
+#: bytes per decision response on the wire (the client's parse stride)
+DECISION_FRAME_SIZE = DECISION_STRUCT.size
+
+#: a decision frame's payload alone (what :func:`split_frames` yields)
+_DECISION_BODY = struct.Struct("<BBBid")
+
+#: u16 length prefix + opcode + flags (an ACQUIRE request's fixed part)
+ACQUIRE_HEADER = struct.Struct("<HBB")
+
+#: hard ceiling on one frame's payload — fits the longest key in UTF-8
+#: with generous slack, and bounds a malicious length prefix
+MAX_FRAME = 4096
+
+_LENGTH = struct.Struct("<H")
 
 
 def encode_request(key: str, useful: bool = True) -> bytes:
@@ -62,25 +152,171 @@ def parse_request(line: str) -> Tuple[str, Optional[str], bool]:
 
 
 def encode_decision(decision: Decision) -> bytes:
-    """The response line for one admission decision (server side)."""
-    if decision.admitted:
-        return f"+ {decision.reason} {decision.balance}\n".encode()
-    retry = decision.retry_after if decision.retry_after is not None else 0.0
-    return f"- {retry:.6f}\n".encode()
+    """The text response line for one admission decision (server side)."""
+    return decision.to_wire()
 
 
 def parse_response(line: str) -> Tuple[bool, str, float]:
-    """Parse a response line into ``(admitted, reason, retry_after)``.
+    """Parse a text response line into ``(admitted, reason, retry_after)``.
 
     ``reason`` is the admission branch (``"reactive"``/``"proactive"``)
     on admits and ``"exhausted"`` on rejects; ``retry_after`` is 0.0 on
     admits. Error lines (``!``) raise ``ValueError``.
     """
-    parts = line.split()
-    if not parts:
-        raise ValueError("empty response")
-    if parts[0] == "+":
-        return True, parts[1] if len(parts) > 1 else "", 0.0
-    if parts[0] == "-":
-        return False, "exhausted", float(parts[1]) if len(parts) > 1 else 0.0
-    raise ValueError(f"server error: {line.strip()}")
+    decision = Decision.from_wire(line)
+    retry = decision.retry_after if decision.retry_after is not None else 0.0
+    return decision.admitted, decision.reason, retry
+
+
+# ---------------------------------------------------------------------------
+# binary protocol (v1) codec
+# ---------------------------------------------------------------------------
+
+def encode_request_binary(key: str, useful: bool = True) -> bytes:
+    """One ``ACQUIRE`` request frame for ``key`` (client side)."""
+    if len(key) > MAX_KEY_LENGTH:
+        raise ValueError(f"key longer than {MAX_KEY_LENGTH}")
+    raw = key.encode()
+    return ACQUIRE_HEADER.pack(
+        2 + len(raw), OP_ACQUIRE, FLAG_USEFUL if useful else 0
+    ) + raw
+
+
+def encode_command_binary(op: int) -> bytes:
+    """A bare-opcode request frame (``OP_STATS`` / ``OP_PING``)."""
+    return _LENGTH.pack(1) + bytes((op,))
+
+
+def parse_request_binary(
+    payload: Union[bytes, bytearray, memoryview],
+) -> Tuple[str, Optional[str], bool]:
+    """Parse one binary request payload into ``(command, key, useful)``.
+
+    Same result shape as :func:`parse_request`, so the server dispatches
+    both protocols through one code path. ``payload`` may be a
+    ``memoryview`` into the connection's receive buffer — only the key
+    bytes are copied (into the returned ``str``).
+    """
+    if not len(payload):
+        raise ValueError("empty frame")
+    op = payload[0]
+    if op == OP_ACQUIRE:
+        if len(payload) < 2:
+            raise ValueError("ACQUIRE needs a flags byte and a key")
+        key = bytes(payload[2:]).decode("utf-8", "replace")
+        if not key:
+            raise ValueError("ACQUIRE needs a key")
+        if len(key) > MAX_KEY_LENGTH:
+            raise ValueError(f"key longer than {MAX_KEY_LENGTH}")
+        return "A", key, bool(payload[1] & FLAG_USEFUL)
+    if op == OP_STATS and len(payload) == 1:
+        return "S", None, True
+    if op == OP_PING and len(payload) == 1:
+        return "P", None, True
+    raise ValueError(f"unknown opcode {op}")
+
+
+def encode_decision_binary(decision: Decision) -> bytes:
+    """One 17-byte ``DECISION`` response frame (server side)."""
+    retry = decision.retry_after
+    return DECISION_STRUCT.pack(
+        DECISION_FRAME_SIZE - 2,
+        STATUS_DECISION,
+        1 if decision.admitted else 0,
+        REASON_CODES.get(decision.reason, 0),
+        decision.balance,
+        retry if retry is not None else 0.0,
+    )
+
+
+def encode_decisions_binary(decisions) -> bytes:
+    """A pipelined run of ``DECISION`` frames as one contiguous write.
+
+    ``struct.pack_into`` over a preallocated buffer: the server answers
+    a whole ``try_acquire_many`` batch with a single ``send``.
+    """
+    pack_into = DECISION_STRUCT.pack_into
+    reason_codes = REASON_CODES
+    body = DECISION_FRAME_SIZE - 2
+    buf = bytearray(DECISION_FRAME_SIZE * len(decisions))
+    offset = 0
+    for decision in decisions:
+        retry = decision.retry_after
+        pack_into(
+            buf,
+            offset,
+            body,
+            STATUS_DECISION,
+            1 if decision.admitted else 0,
+            reason_codes.get(decision.reason, 0),
+            decision.balance,
+            retry if retry is not None else 0.0,
+        )
+        offset += DECISION_FRAME_SIZE
+    return bytes(buf)
+
+
+def encode_status_binary(status: int, body: bytes = b"") -> bytes:
+    """A generic response frame (``STATS`` / ``ERROR`` / ``PONG``)."""
+    return _LENGTH.pack(1 + len(body)) + bytes((status,)) + body
+
+
+def decode_response_binary(
+    payload: Union[bytes, bytearray, memoryview], key: str = ""
+) -> Tuple[int, object]:
+    """Decode one binary response payload into ``(status, value)``.
+
+    ``value`` is a :class:`~repro.serve.limiter.Decision` for
+    ``STATUS_DECISION`` (the wire does not carry the key; the caller
+    supplies it, matching responses to requests by order), the raw JSON
+    bytes for ``STATUS_STATS``, ``None`` for ``STATUS_PONG``. An
+    ``STATUS_ERROR`` frame raises ``ValueError`` with the message.
+    """
+    if not len(payload):
+        raise ValueError("empty frame")
+    status = payload[0]
+    if status == STATUS_DECISION:
+        if len(payload) != _DECISION_BODY.size:
+            raise ValueError(f"bad decision frame length {len(payload)}")
+        _, admitted, reason, balance, retry = _DECISION_BODY.unpack(payload)
+        name = (
+            REASON_NAMES[reason]
+            if reason < len(REASON_NAMES) and REASON_NAMES[reason]
+            else "exhausted"
+        )
+        return status, Decision(
+            bool(admitted), key, name, balance, None if admitted else retry
+        )
+    if status == STATUS_STATS:
+        return status, bytes(payload[1:])
+    if status == STATUS_PONG:
+        return status, None
+    if status == STATUS_ERROR:
+        raise ValueError(
+            "server error: " + bytes(payload[1:]).decode("utf-8", "replace")
+        )
+    raise ValueError(f"unknown status {status}")
+
+
+def split_frames(buffer: bytearray, max_frame: int = MAX_FRAME):
+    """Split complete length-prefixed frames off the front of ``buffer``.
+
+    Returns ``(payloads, consumed)`` where ``payloads`` are *copies* of
+    each complete frame's payload and ``consumed`` is the byte count to
+    discard from the buffer's front (``del buffer[:consumed]``). A
+    length prefix exceeding ``max_frame`` raises ``ValueError`` — the
+    caller should drop the connection. Incremental: trailing partial
+    frames stay in the buffer for the next read.
+    """
+    payloads = []
+    offset = 0
+    available = len(buffer)
+    while available - offset >= 2:
+        length = buffer[offset] | (buffer[offset + 1] << 8)
+        if length > max_frame:
+            raise ValueError(f"frame length {length} exceeds {max_frame}")
+        if available - offset - 2 < length:
+            break
+        payloads.append(bytes(buffer[offset + 2:offset + 2 + length]))
+        offset += 2 + length
+    return payloads, offset

@@ -293,3 +293,163 @@ def test_invalid_construction():
 def test_burst_bound_helper_consistency():
     # the auditor and the limiter share one bound definition
     assert burst_bound(10.0, PERIOD, 5) == math.ceil(10.0) + 5
+
+
+# ----------------------------------------------------------------------
+# try_acquire_many: the batched decision path
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", all_registered_strategies())
+def test_batch_matches_singleton_batches(name):
+    """One n-key batch == n one-key batches: the RNG stream contract.
+
+    ``decide_many`` draws one ``(n, 2)`` uniform block row-major, so
+    splitting the same workload into single-key calls consumes the
+    identical stream — decisions must agree bit-for-bit, randomized
+    strategies included.
+    """
+    keys = [f"key-{i}" for i in range(40)]
+    clock = ManualClock()
+    batched = make_limiter(name, clock)
+    one_by_one = make_limiter(name, ManualClock())
+    for round_index in range(4):
+        clock.advance(0.4)
+        together = batched.try_acquire_many(keys, now=clock.now)
+        singles = [
+            one_by_one.try_acquire_many([key], now=clock.now)[0] for key in keys
+        ]
+        assert [(d.admitted, d.reason, d.balance) for d in together] == [
+            (d.admitted, d.reason, d.balance) for d in singles
+        ], f"round {round_index}"
+
+
+@pytest.mark.parametrize("name", DETERMINISTIC)
+def test_batch_matches_scalar_for_deterministic_strategies(name):
+    clock_a, clock_b = ManualClock(), ManualClock()
+    scalar = make_limiter(name, clock_a)
+    batched = make_limiter(name, clock_b)
+    keys = [f"key-{i}" for i in range(10)]
+    for _ in range(30):
+        clock_a.advance(STEP)
+        clock_b.advance(STEP)
+        expected = [scalar.try_acquire(key, now=clock_a.now) for key in keys]
+        got = batched.try_acquire_many(keys, now=clock_b.now)
+        assert [(d.admitted, d.reason, d.balance, d.retry_after) for d in got] == [
+            (d.admitted, d.reason, d.balance, d.retry_after) for d in expected
+        ]
+    assert scalar.admitted == batched.admitted
+    assert scalar.rejected == batched.rejected
+
+
+def test_batch_duplicate_keys_settle_in_input_order():
+    """Repeats of one key inside a batch see the previous repeat's spend."""
+    clock = ManualClock()
+    limiter = make_limiter("simple", clock)  # C = 5, starts full
+    decisions = limiter.try_acquire_many(["k"] * 8, now=clock.now)
+    assert [d.admitted for d in decisions] == [True] * 5 + [False] * 3
+    assert [d.balance for d in decisions[:5]] == [4, 3, 2, 1, 0]
+    # interleaved duplicates keep per-position order too
+    clock.advance(100 * PERIOD)
+    mixed = limiter.try_acquire_many(["a", "k", "a", "k", "a"], now=clock.now)
+    assert [d.key for d in mixed] == ["a", "k", "a", "k", "a"]
+    assert [d.balance for d in mixed] == [4, 4, 3, 3, 2]
+
+
+def test_batch_counters_and_multi_shard_routing():
+    limiter = TokenAccountLimiter(
+        "simple", capacity=2, period=PERIOD, clock=ManualClock(), shards=4,
+        max_keys=256, seed=3,
+    )
+    keys = [f"key-{i}" for i in range(50)] * 2  # each key twice
+    decisions = limiter.try_acquire_many(keys, now=0.0)
+    assert len(decisions) == 100
+    assert limiter.admitted + limiter.rejected == 100
+    assert limiter.admitted == sum(d.admitted for d in decisions) == 100
+    decisions = limiter.try_acquire_many(keys, now=0.0)  # accounts now empty
+    assert limiter.rejected == sum(not d.admitted for d in decisions) == 100
+
+
+def test_batch_empty_and_per_key_usefulness():
+    clock = ManualClock()
+    limiter = make_limiter("generalized", clock)  # A=3, C=6
+    assert limiter.try_acquire_many([]) == []
+    # REACTIVE(a, False) = floor((2 + a) / 6) = 0 below balance 4: the
+    # useless request must be rejected while useful ones are admitted.
+    limiter.try_acquire_many(["k", "k"], now=clock.now)  # drain 6 -> 4
+    decisions = limiter.try_acquire_many(
+        ["k", "k"], useful=[True, False], now=clock.now
+    )
+    assert decisions[0].admitted
+    assert not decisions[1].admitted
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    name=st.sampled_from(("proactive", "simple", "generalized", "randomized")),
+    rounds=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=2.5, allow_nan=False),
+            st.lists(st.sampled_from(("a", "b", "c")), min_size=1, max_size=9),
+        ),
+        min_size=5,
+        max_size=40,
+    ),
+)
+def test_batched_schedules_never_violate_the_bound(name, rounds):
+    """Hypothesis: §3.4 holds per key under arbitrary *batched* demand,
+    duplicate keys within a batch included."""
+    clock = ManualClock()
+    limiter = make_limiter(name, clock)
+    capacity = limiter.strategy.token_capacity
+    auditors = {key: RateLimitAuditor(network=None) for key in "abc"}
+    for advance, keys in rounds:
+        clock.advance(advance)
+        for decision in limiter.try_acquire_many(keys, now=clock.now):
+            if decision.admitted:
+                auditors[decision.key].record(0, clock.now)
+    if capacity is None:
+        return
+    for key, auditor in auditors.items():
+        violations = auditor.check(period=PERIOD, capacity=capacity)
+        assert not violations, (key, violations[:3])
+
+
+# ----------------------------------------------------------------------
+# stale-now clamp (regression: backwards timestamps must be harmless)
+# ----------------------------------------------------------------------
+def test_stale_now_cannot_corrupt_retry_hints():
+    """A `now` earlier than the key's last decision clamps forward.
+
+    Before the clamp, a stale timestamp made ``retry_after`` balloon
+    (the anchor is already past the stale now), telling well-behaved
+    clients to back off for many periods they did not owe.
+    """
+    clock = ManualClock()
+    limiter = make_limiter("simple", clock)  # C = 5
+    for _ in range(5):
+        assert limiter.try_acquire("k", now=10.0).admitted
+    stale = limiter.try_acquire("k", now=3.0)  # 7 seconds in the past
+    assert not stale.admitted
+    assert stale.retry_after is not None and stale.retry_after <= PERIOD
+
+
+def test_stale_now_cannot_mint_tokens_or_rearm_the_slot():
+    clock = ManualClock()
+    limiter = make_limiter("proactive", clock)  # capacity 0: slot-paced
+    assert limiter.try_acquire("k", now=5.0).admitted  # slot taken at 5.0
+    # time jumps backwards: the slot must NOT re-arm, and ticks must
+    # not re-accrue from the stale anchor
+    for bogus in (4.0, 1.0, 4.9):
+        assert not limiter.try_acquire("k", now=bogus).admitted
+    assert limiter.try_acquire("k", now=5.0 + PERIOD).admitted
+
+
+def test_stale_now_clamps_in_batches_too():
+    clock = ManualClock()
+    limiter = make_limiter("simple", clock)
+    limiter.try_acquire_many(["k"] * 5, now=10.0)  # drain the account
+    (stale,) = limiter.try_acquire_many(["k"], now=2.0)
+    assert not stale.admitted
+    assert stale.retry_after is not None and stale.retry_after <= PERIOD
+    # a batch at a *fresh* now still accrues normally afterwards
+    (fresh,) = limiter.try_acquire_many(["k"], now=10.0 + PERIOD)
+    assert fresh.admitted

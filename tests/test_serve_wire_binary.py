@@ -1,0 +1,345 @@
+"""Binary wire framing: codec round trips and the dual-protocol server.
+
+The binary path's correctness claims: every frame round-trips exactly
+(any key, any decision, any ``f64`` retry hint), the incremental frame
+splitter is insensitive to how the byte stream is segmented (the
+property a TCP client actually needs), and one server port speaks both
+protocols with first-byte negotiation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import wire
+from repro.serve.limiter import Decision, TokenAccountLimiter
+from repro.serve.server import AdmissionServer
+
+# ----------------------------------------------------------------------
+# hypothesis strategies
+# ----------------------------------------------------------------------
+keys = st.text(min_size=1, max_size=wire.MAX_KEY_LENGTH).filter(
+    lambda k: len(k.encode()) <= wire.MAX_FRAME - 4
+)
+
+decisions = st.one_of(
+    st.builds(
+        lambda key, reason, balance: Decision(True, key, reason, balance),
+        keys,
+        st.sampled_from(("reactive", "proactive")),
+        st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    ),
+    st.builds(
+        lambda key, balance, retry: Decision(False, key, "exhausted", balance, retry),
+        keys,
+        st.integers(min_value=-(2**31), max_value=2**31 - 1),
+        st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    ),
+)
+
+
+def segmented(blob: bytes, cuts) -> list:
+    """Split ``blob`` at the given relative cut points (pathological TCP)."""
+    bounds = sorted({int(cut * len(blob)) for cut in cuts})
+    pieces, last = [], 0
+    for bound in bounds:
+        pieces.append(blob[last:bound])
+        last = bound
+    pieces.append(blob[last:])
+    return [piece for piece in pieces if piece]
+
+
+# ----------------------------------------------------------------------
+# codec round trips
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(key=keys, useful=st.booleans())
+def test_request_round_trip(key, useful):
+    frame = wire.encode_request_binary(key, useful)
+    payloads, consumed = wire.split_frames(bytearray(frame))
+    assert consumed == len(frame) and len(payloads) == 1
+    assert wire.parse_request_binary(payloads[0]) == ("A", key, useful)
+
+
+@settings(max_examples=200, deadline=None)
+@given(decision=decisions)
+def test_decision_round_trip(decision):
+    frame = wire.encode_decision_binary(decision)
+    assert len(frame) == wire.DECISION_FRAME_SIZE
+    payloads, consumed = wire.split_frames(bytearray(frame))
+    assert consumed == len(frame)
+    status, decoded = wire.decode_response_binary(payloads[0], key=decision.key)
+    assert status == wire.STATUS_DECISION
+    assert decoded == decision
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    batch=st.lists(decisions, min_size=0, max_size=20),
+    cuts=st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=8),
+)
+def test_pipelined_stream_survives_any_segmentation(batch, cuts):
+    """Feeding a response run in arbitrary chunks recovers every frame."""
+    blob = wire.encode_decisions_binary(batch)
+    assert blob == b"".join(wire.encode_decision_binary(d) for d in batch)
+    buffer = bytearray()
+    recovered = []
+    for piece in segmented(blob, cuts):
+        buffer += piece
+        payloads, consumed = wire.split_frames(buffer)
+        del buffer[:consumed]
+        for payload in payloads:
+            index = len(recovered)
+            status, decoded = wire.decode_response_binary(
+                payload, key=batch[index].key
+            )
+            recovered.append(decoded)
+    assert not buffer  # every byte consumed
+    assert recovered == batch
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    requests=st.lists(st.tuples(keys, st.booleans()), min_size=1, max_size=20),
+    cuts=st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=8),
+)
+def test_request_stream_survives_any_segmentation(requests, cuts):
+    blob = b"".join(wire.encode_request_binary(k, u) for k, u in requests)
+    buffer = bytearray()
+    recovered = []
+    for piece in segmented(blob, cuts):
+        buffer += piece
+        payloads, consumed = wire.split_frames(buffer)
+        del buffer[:consumed]
+        recovered.extend(wire.parse_request_binary(p) for p in payloads)
+    assert recovered == [("A", k, u) for k, u in requests]
+
+
+def test_split_frames_rejects_oversized_prefix():
+    bogus = (wire.MAX_FRAME + 1).to_bytes(2, "little") + b"x"
+    with pytest.raises(ValueError, match="exceeds"):
+        wire.split_frames(bytearray(bogus))
+
+
+def test_malformed_payloads_raise():
+    with pytest.raises(ValueError):
+        wire.parse_request_binary(b"")
+    with pytest.raises(ValueError, match="opcode"):
+        wire.parse_request_binary(bytes([99]))
+    with pytest.raises(ValueError, match="key"):
+        wire.parse_request_binary(bytes([wire.OP_ACQUIRE, wire.FLAG_USEFUL]))
+    with pytest.raises(ValueError):
+        wire.decode_response_binary(b"")
+    with pytest.raises(ValueError, match="status"):
+        wire.decode_response_binary(bytes([77]))
+    with pytest.raises(ValueError, match="server error"):
+        wire.decode_response_binary(bytes([wire.STATUS_ERROR]) + b"boom")
+
+
+@settings(max_examples=100, deadline=None)
+@given(decision=decisions)
+def test_text_wire_round_trip(decision):
+    """`Decision.to_wire`/`from_wire` — the text codec on the dataclass."""
+    line = decision.to_wire()
+    parsed = Decision.from_wire(line, key=decision.key)
+    assert parsed.admitted == decision.admitted
+    if decision.admitted:
+        assert parsed.reason == decision.reason
+        assert parsed.balance == decision.balance
+    else:
+        assert parsed.retry_after == pytest.approx(
+            decision.retry_after or 0.0, abs=1e-6, rel=1e-9
+        )
+
+
+def test_magic_first_byte_is_not_ascii():
+    """The negotiation invariant: no text command starts with MAGIC[0]."""
+    assert wire.MAGIC[0] >= 0x80
+
+
+# ----------------------------------------------------------------------
+# the dual-protocol server
+# ----------------------------------------------------------------------
+def _run(coro):
+    return asyncio.run(coro)
+
+
+async def _start_server(**limiter_kwargs):
+    defaults = dict(capacity=4, period=60.0, seed=5)
+    defaults.update(limiter_kwargs)
+    limiter = TokenAccountLimiter("simple", **defaults)
+    server = await AdmissionServer(limiter).start()
+    return server
+
+
+async def _binary_client(port):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(wire.MAGIC)
+    await writer.drain()
+    assert await reader.readexactly(len(wire.MAGIC)) == wire.MAGIC
+    return reader, writer
+
+
+async def _read_frames(reader, count):
+    buffer = bytearray()
+    frames = []
+    while len(frames) < count:
+        chunk = await reader.read(2**16)
+        assert chunk, "server closed early"
+        buffer += chunk
+        payloads, consumed = wire.split_frames(buffer)
+        del buffer[:consumed]
+        frames.extend(payloads)
+    return frames
+
+
+def test_binary_pipeline_answers_in_order():
+    async def scenario():
+        server = await _start_server()
+        reader, writer = await _binary_client(server.port)
+        writer.write(wire.encode_request_binary("k") * 6)
+        await writer.drain()
+        frames = await _read_frames(reader, 6)
+        decided = [
+            wire.decode_response_binary(f, key="k")[1] for f in frames
+        ]
+        assert [d.admitted for d in decided] == [True] * 4 + [False] * 2
+        # balances count down: proof the run went through one batch
+        assert [d.balance for d in decided[:4]] == [3, 2, 1, 0]
+        writer.close()
+        await server.close()
+
+    _run(scenario())
+
+
+def test_binary_stats_and_ping_are_flush_barriers():
+    async def scenario():
+        server = await _start_server()
+        reader, writer = await _binary_client(server.port)
+        writer.write(
+            wire.encode_request_binary("a")
+            + wire.encode_command_binary(wire.OP_STATS)
+            + wire.encode_request_binary("a")
+            + wire.encode_command_binary(wire.OP_PING)
+        )
+        await writer.drain()
+        frames = await _read_frames(reader, 4)
+        statuses = [wire.decode_response_binary(f, key="a")[0] for f in frames]
+        assert statuses == [
+            wire.STATUS_DECISION,
+            wire.STATUS_STATS,
+            wire.STATUS_DECISION,
+            wire.STATUS_PONG,
+        ]
+        stats = json.loads(wire.decode_response_binary(frames[1])[1])
+        # the STATS barrier saw exactly the one admission before it
+        assert stats["admitted"] == 1
+        writer.close()
+        await server.close()
+
+    _run(scenario())
+
+
+def test_text_and_binary_clients_share_one_port():
+    async def scenario():
+        server = await _start_server()
+        b_reader, b_writer = await _binary_client(server.port)
+        t_reader, t_writer = await asyncio.open_connection(
+            "127.0.0.1", server.port
+        )
+        b_writer.write(wire.encode_request_binary("shared"))
+        await b_writer.drain()
+        t_writer.write(b"A shared\n")
+        await t_writer.drain()
+        (frame,) = await _read_frames(b_reader, 1)
+        _, binary_decision = wire.decode_response_binary(frame, key="shared")
+        text_line = await t_reader.readline()
+        assert binary_decision.admitted
+        assert text_line.startswith(b"+ ")
+        # both decisions drained the same account
+        assert server.limiter.balance("shared") == 2
+        b_writer.close()
+        t_writer.close()
+        await server.close()
+
+    _run(scenario())
+
+
+def test_unknown_binary_version_gets_text_error_and_close():
+    async def scenario():
+        server = await _start_server()
+        reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+        writer.write(bytes([wire.MAGIC[0]]) + b"TA\x7f")
+        await writer.drain()
+        line = await reader.readline()
+        assert line.startswith(b"! unsupported")
+        assert await reader.read() == b""  # connection closed
+        writer.close()
+        await server.close()
+
+    _run(scenario())
+
+
+def test_unknown_opcode_answers_error_frame_and_survives():
+    async def scenario():
+        server = await _start_server()
+        reader, writer = await _binary_client(server.port)
+        writer.write(bytes([1, 0, 42]))  # length 1, opcode 42
+        writer.write(wire.encode_command_binary(wire.OP_PING))
+        await writer.drain()
+        frames = await _read_frames(reader, 2)
+        with pytest.raises(ValueError, match="opcode"):
+            wire.decode_response_binary(frames[0])
+        assert wire.decode_response_binary(frames[1])[0] == wire.STATUS_PONG
+        writer.close()
+        await server.close()
+
+    _run(scenario())
+
+
+def test_oversized_frame_prefix_closes_the_connection():
+    async def scenario():
+        server = await _start_server()
+        reader, writer = await _binary_client(server.port)
+        writer.write((wire.MAX_FRAME + 9).to_bytes(2, "little") + b"xx")
+        await writer.drain()
+        frames = await _read_frames(reader, 1)
+        with pytest.raises(ValueError, match="exceeds"):
+            wire.decode_response_binary(frames[0])
+        assert await reader.read() == b""
+        writer.close()
+        await server.close()
+
+    _run(scenario())
+
+
+def test_binary_usefulness_flag_reaches_the_limiter():
+    async def scenario():
+        # generalized at A=3: REACTIVE(a, False) = floor((2+a)/6) is 0
+        # until the balance reaches 4, so useless traffic is rejected
+        # while useful traffic is admitted from balance 3.
+        limiter = TokenAccountLimiter(
+            "generalized", spend_rate=3, capacity=6, period=60.0, seed=5,
+            initial_tokens=3,
+        )
+        server = await AdmissionServer(limiter).start()
+        reader, writer = await _binary_client(server.port)
+        writer.write(
+            wire.encode_request_binary("k", useful=False)
+            + wire.encode_request_binary("k", useful=True)
+        )
+        await writer.drain()
+        frames = await _read_frames(reader, 2)
+        useless = wire.decode_response_binary(frames[0], key="k")[1]
+        useful = wire.decode_response_binary(frames[1], key="k")[1]
+        assert not useless.admitted
+        assert useful.admitted
+        writer.close()
+        await server.close()
+
+    _run(scenario())
