@@ -58,6 +58,7 @@ REQUIRED_METRICS = {
         "single_shard.decisions_per_second",
         "batch_single_shard.decisions_per_second",
         "loopback_binary.decisions_per_second",
+        "loopback_cluster_2w.decisions_per_second",
     ),
 }
 

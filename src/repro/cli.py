@@ -532,6 +532,36 @@ def _command_serve(args: argparse.Namespace) -> int:
     from repro.serve import TokenAccountLimiter, run_server
     from repro.serve.event_loop import install_event_loop
 
+    if args.workers:
+        # Multi-process cluster: N worker servers behind a binary
+        # consistent-hash router on the public port.
+        from repro.serve.cluster import ClusterConfig, serve_cluster
+
+        config = ClusterConfig(
+            workers=args.workers,
+            strategy=args.strategy,
+            period=args.period,
+            spend_rate=args.spend_rate,
+            capacity=args.capacity,
+            shards=args.shards,
+            max_keys=args.max_keys,
+            seed=args.seed,
+            host=args.host,
+            port=args.port,
+            cold_start=args.cold_start,
+            uvloop=args.uvloop,
+        )
+        print(f"event loop: {install_event_loop(args.uvloop)}")
+        stats = serve_cluster(config, duration=args.duration)
+        if stats:
+            print(
+                f"served {stats['admitted']} admissions / "
+                f"{stats['rejected']} rejections over {stats['keys']} key(s) "
+                f"across {stats['workers']} worker(s), "
+                f"{stats['remaps']} remap(s)"
+            )
+        return 0
+
     print(f"event loop: {install_event_loop(args.uvloop)}")
     limiter = TokenAccountLimiter(
         args.strategy,
@@ -541,6 +571,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         shards=args.shards,
         max_keys=args.max_keys,
         seed=args.seed,
+        initial_tokens=0 if args.cold_start else None,
     )
     try:
         asyncio.run(
@@ -834,6 +865,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="LRU budget for per-key accounts across all shards",
     )
     serve_parser.add_argument("--seed", type=int, default=None)
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "run a multi-process cluster: N worker servers behind a "
+            "consistent-hash binary router on the public port "
+            "(default: 0 = a single in-process server)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--cold-start",
+        action="store_true",
+        help=(
+            "start fresh per-key accounts empty (the paper's cold start) "
+            "instead of full — keeps the burst bound airtight across "
+            "cluster failure remaps and LRU re-admissions"
+        ),
+    )
     serve_parser.add_argument(
         "--duration",
         type=float,

@@ -13,6 +13,10 @@ bridge from reproducing the paper to serving real traffic with it:
   asyncio TCP admission server (``repro serve``), speaking both the
   text line protocol and the length-prefixed binary framing on one
   port (first-byte version negotiation);
+* :mod:`repro.serve.ring` + :mod:`repro.serve.cluster` — the stable
+  consistent-hash ring and the multi-process limiter cluster
+  (``repro serve --workers N``): worker processes behind a binary
+  front-end router, one key owner per key, minimal remap on failure;
 * :mod:`repro.serve.arrivals` + :mod:`repro.serve.loadgen` — the
   open-loop Poisson / flash-crowd load generator (``repro loadgen``),
   speaking either protocol with optional pipelining;
@@ -21,22 +25,30 @@ bridge from reproducing the paper to serving real traffic with it:
 """
 
 from repro.serve.clock import Clock, ManualClock, monotonic_clock
+from repro.serve.cluster import ClusterConfig, ClusterRouter, serve_cluster
 from repro.serve.event_loop import install_event_loop
 from repro.serve.limiter import Decision, TokenAccountLimiter
-from repro.serve.loadgen import LoadgenReport, run_loadgen
+from repro.serve.loadgen import LoadgenReport, fetch_stats, run_loadgen
+from repro.serve.ring import HashRing, stable_hash
 from repro.serve.server import AdmissionServer, run_server
 from repro.serve.table import ShardedTable
 
 __all__ = [
     "AdmissionServer",
     "Clock",
+    "ClusterConfig",
+    "ClusterRouter",
     "Decision",
+    "HashRing",
     "LoadgenReport",
     "ManualClock",
     "ShardedTable",
     "TokenAccountLimiter",
+    "fetch_stats",
     "install_event_loop",
     "monotonic_clock",
     "run_loadgen",
     "run_server",
+    "serve_cluster",
+    "stable_hash",
 ]

@@ -1,0 +1,928 @@
+"""The multi-process limiter cluster (``repro serve --workers N``).
+
+One asyncio admission server is GIL-bound: the serving bench shows a
+single process topping out near 140k binary decisions/s while the other
+cores idle. The cluster shape fixes that without touching the limiter:
+``N`` **worker processes** each run the existing
+:class:`~repro.serve.server.AdmissionServer` on a private socket, and a
+front-end **router** process owns the public port, speaking the binary
+wire protocol (:mod:`repro.serve.wire`) on both sides.
+
+Key ownership
+-------------
+The router maps every ACQUIRE key to exactly one worker with a
+:class:`~repro.serve.ring.HashRing` over
+:func:`~repro.serve.ring.stable_hash` — the same seeded, restart-stable
+hash the in-process shard table routes with. One owner per key means
+each key's token account lives in exactly one worker's table, so the
+paper's §3.4 burst bound (≤ ``⌈t/Δ⌉ + C`` admissions per key in any
+window ``t``) holds cluster-wide exactly as it does in one process.
+
+Data path
+---------
+Per client connection the router opens one binary connection to every
+worker, so each worker answers *this client's* requests strictly FIFO.
+A drained client chunk becomes one **batch**: validated ACQUIRE frames
+are grouped by verbatim frame bytes (= one group per key+flags),
+positions remembered, and each worker receives its groups as compact
+``ACQUIRE_BULK`` records — ``count`` requests for ``key`` collapse to
+one ~``5+len(key)``-byte record instead of ``count`` relayed frames,
+and the worker answers with one 20-byte ``RUN`` frame per group
+(closed-form admit-prefix for deterministic strategies; plain DECISION
+frames otherwise — see *Bulk admission* in :mod:`repro.serve.wire`).
+A responder task reassembles client order: it expands each ``RUN``
+into its 17-byte DECISION frames numerically (a NumPy balance
+countdown for admits, bytes repetition for rejects) and scatters the
+records into request order with a fancy-index over a ``V17`` record
+view. Routing is memoized frame-bytes → (worker, bulk-record prefix)
+in a bounded dict, so the per-frame hot path is one dict hit.
+
+``STATS`` is a flush barrier: the router forwards it to every live
+worker on the same connections (preserving FIFO alignment), sums the
+per-worker counters and answers one aggregated document with cluster
+fields (``workers``, ``remaps``, router ``connections``) added.
+``PING`` is answered locally. The router speaks binary only — a text
+client gets one explanatory error line and a close.
+
+Failure remap
+-------------
+Worker death is detected two ways: a supervisor polls the child
+processes, and any failed read on a worker link reports the worker
+immediately. Either path removes the member from the ring — which
+remaps *only that worker's arcs* (~``1/W`` of the key space) and never
+moves a key between survivors — bumps the ``remaps`` counter and drops
+the route memo. Requests already in flight to the dead worker are
+answered with synthesized REJECT frames (clients see backpressure, not
+a protocol error); remapped keys start fresh accounts on their new
+owner, the same contract as LRU eviction. Run workers with
+``--cold-start`` to keep the burst bound airtight across a remap (a
+fresh account then starts empty instead of full).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+import signal
+import struct
+import subprocess
+import sys
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.serve import wire
+from repro.serve.limiter import Decision
+from repro.serve.ring import HashRing
+
+#: route memo budget (frame bytes -> (worker, bulk-record prefix)),
+#: dropped whole when full or on any ring change
+_ROUTE_CACHE_MAX = 65536
+
+#: per-connection receive buffer — larger than the worker server's so a
+#: backlogged pipelined client drains in fewer, bigger routed batches
+_RECV_BUFFER = 2**16
+
+#: client-side backpressure: pause reading above, resume below
+_PAUSE_OUTSTANDING = 32768
+_RESUME_OUTSTANDING = 8192
+
+#: worker links carry up to ~64k pipelined 17-byte decisions per read
+_LINK_READ_LIMIT = 2**20
+
+#: a worker DECISION run viewed as opaque 17-byte records (reordering
+#: permutes whole frames; nothing inside them needs decoding)
+_DECISION_RECORD = np.dtype((np.void, wire.DECISION_FRAME_SIZE))
+
+#: the same 17 bytes with named fields, for synthesizing admit frames
+#: from a RUN response (packed little-endian layout, no padding)
+_DECISION_FIELDS = np.dtype(
+    [
+        ("len", "<u2"),
+        ("status", "u1"),
+        ("admitted", "u1"),
+        ("reason", "u1"),
+        ("balance", "<i4"),
+        ("retry", "<f8"),
+    ]
+)
+assert _DECISION_FIELDS.itemsize == wire.DECISION_FRAME_SIZE
+
+#: a RUN frame's tail after the 3-byte (length, status) header:
+#: reason, u16 admits, u16 rejects, i32 balance, f64 retry
+_RUN_TAIL = struct.Struct("<BHHid")
+
+_U16 = struct.Struct("<H")
+_BULK_OP = bytes((wire.OP_ACQUIRE_BULK,))
+_REASON_EXHAUSTED = wire.REASON_CODES["exhausted"]
+
+#: the reject frame synthesized for requests lost to a dead worker
+_SYNTH_REJECT = wire.encode_decision_binary(
+    Decision(False, "", "exhausted", 0, 0.0)
+)
+
+#: scrapes the port from a worker's (or the router's) announce line
+_ANNOUNCE = re.compile(r"on [0-9.]+:(\d+)")
+
+
+def _pack_bulk_frames(records: List[bytes]) -> bytes:
+    """Join bulk group records into ``ACQUIRE_BULK`` frames.
+
+    Records are packed greedily into as few frames as fit under
+    :data:`wire.MAX_FRAME`; a validated record is at most ~1 KiB
+    (``5 + len(key bytes)``), so any record fits some frame.
+    """
+    frames: List[bytes] = []
+    chunk: List[bytes] = []
+    size = 1  # the opcode byte
+    for record in records:
+        if size + len(record) > wire.MAX_FRAME and chunk:
+            frames.append(_U16.pack(size) + _BULK_OP + b"".join(chunk))
+            chunk = []
+            size = 1
+        chunk.append(record)
+        size += len(record)
+    frames.append(_U16.pack(size) + _BULK_OP + b"".join(chunk))
+    return b"".join(frames)
+
+
+def _expand_run(
+    reason: int, admits: int, rejects: int, balance: int, retry: float
+) -> bytes:
+    """Expand one RUN frame into the DECISION frames the client expects.
+
+    The run is an admit-prefix walk from a pre-spend ``balance``: the
+    first ``admits`` requests are admitted at balances ``balance-1`` …
+    ``balance-admits`` (retry 0), the remaining ``rejects`` are all
+    identical rejects at the leftover balance — exactly what the worker
+    would have answered to ``admits + rejects`` sequential ACQUIREs.
+    """
+    parts: List[bytes] = []
+    if admits:
+        frames = np.zeros(admits, dtype=_DECISION_FIELDS)
+        frames["len"] = wire.DECISION_FRAME_SIZE - 2
+        frames["status"] = wire.STATUS_DECISION
+        frames["admitted"] = 1
+        frames["reason"] = reason
+        frames["balance"] = np.arange(
+            balance - 1, balance - 1 - admits, -1, dtype=np.int32
+        )
+        parts.append(frames.tobytes())
+    if rejects:
+        reject = wire.DECISION_STRUCT.pack(
+            wire.DECISION_FRAME_SIZE - 2,
+            wire.STATUS_DECISION,
+            0,
+            _REASON_EXHAUSTED,
+            balance - admits,
+            retry,
+        )
+        parts.append(reject if rejects == 1 else reject * rejects)
+    return parts[0] if len(parts) == 1 else b"".join(parts)
+
+
+class _WorkerLink:
+    """One client connection's private link to one worker."""
+
+    __slots__ = ("reader", "writer", "dead")
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+        self.dead = False
+
+
+class _RouterConnection(asyncio.BufferedProtocol):
+    """One client connection through the router.
+
+    Same reusable-receive-buffer discipline as the worker server's
+    protocol; the drain *routes* frames instead of deciding them, and a
+    responder task writes the reordered replies.
+    """
+
+    def __init__(self, router: "ClusterRouter"):
+        self.router = router
+        self.transport: Optional[asyncio.Transport] = None
+        self.mode: Optional[str] = None
+        self._buffer = bytearray(_RECV_BUFFER)
+        self._view = memoryview(self._buffer)
+        self._start = 0
+        self._end = 0
+        #: worker name -> this connection's link (built by _setup)
+        self._links: Dict[str, _WorkerLink] = {}
+        self._queue: "asyncio.Queue[tuple]" = asyncio.Queue()
+        self._outstanding = 0
+        self._paused = False
+        self._ready = False
+        self._setup_task: Optional[asyncio.Task] = None
+        self._responder: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------
+    def connection_made(self, transport) -> None:
+        self.router.connections += 1
+        self.router._protocols.add(self)
+        self.transport = transport
+
+    def connection_lost(self, exc) -> None:
+        self.router.connections -= 1
+        self.router._protocols.discard(self)
+        self.transport = None
+        for task in (self._setup_task, self._responder):
+            if task is not None and not task.done():
+                task.cancel()
+        self._close_links()
+
+    def _close_links(self) -> None:
+        for link in self._links.values():
+            try:
+                link.writer.close()
+            except RuntimeError:  # pragma: no cover - loop already gone
+                pass
+        self._links.clear()
+
+    # Tie the client's read side to its write side, like the server.
+    def pause_writing(self) -> None:
+        if self.transport is not None:
+            self.transport.pause_reading()
+
+    def resume_writing(self) -> None:
+        if self.transport is not None:
+            self.transport.resume_reading()
+
+    # ------------------------------------------------------------------
+    def get_buffer(self, sizehint: int) -> memoryview:
+        if self._start and self._start == self._end:
+            self._start = self._end = 0
+        elif len(self._buffer) - self._end < 2048 and self._start:
+            remaining = self._end - self._start
+            self._buffer[:remaining] = self._buffer[self._start : self._end]
+            self._start, self._end = 0, remaining
+        return self._view[self._end :]
+
+    def buffer_updated(self, nbytes: int) -> None:
+        self._end += nbytes
+        if self.mode is None and not self._sniff():
+            return
+        if self._ready:
+            self._drain_binary()
+
+    # ------------------------------------------------------------------
+    def _sniff(self) -> bool:
+        """Require the binary hello; refuse text clients with one line."""
+        assert self.transport is not None
+        if self._buffer[self._start] != wire.MAGIC[0]:
+            self.transport.write(
+                b"! the cluster router speaks the binary protocol only\n"
+            )
+            self.transport.close()
+            return False
+        if self._end - self._start < len(wire.MAGIC):
+            return False  # wait for the whole hello
+        hello = bytes(self._view[self._start : self._start + len(wire.MAGIC)])
+        if hello != wire.MAGIC:
+            self.transport.write(b"! unsupported binary protocol version\n")
+            self.transport.close()
+            return False
+        self.mode = "binary"
+        self._start += len(wire.MAGIC)
+        # The hello is NOT acked yet: first bring up this connection's
+        # worker links, then ack, so a client that waits for the echo
+        # (they all should) never races the fan-out setup.
+        self._setup_task = asyncio.get_running_loop().create_task(self._setup())
+        return True
+
+    async def _setup(self) -> None:
+        """Open this connection's private link to every live worker."""
+        for name, (host, port) in list(self.router._workers.items()):
+            try:
+                reader, writer = await asyncio.open_connection(
+                    host, port, limit=_LINK_READ_LIMIT
+                )
+                writer.write(wire.MAGIC)
+                ack = await reader.readexactly(len(wire.MAGIC))
+                if ack != wire.MAGIC:
+                    raise ConnectionError("bad worker hello")
+            except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                self.router.worker_failed(name)
+                continue
+            self._links[name] = _WorkerLink(reader, writer)
+        if self.transport is None:  # client left during setup
+            self._close_links()
+            return
+        self.transport.write(wire.MAGIC)  # hello ack: ready for frames
+        self._ready = True
+        self._responder = asyncio.get_running_loop().create_task(self._respond())
+        self._drain_binary()  # frames that arrived while setting up
+
+    # ------------------------------------------------------------------
+    def _route_frame(self, frame: bytes) -> Optional[Tuple[str, bytes]]:
+        """Validate and route one ACQUIRE frame (the route-memo miss path).
+
+        The memo is keyed by the *whole verbatim frame* — one bytes
+        copy per frame serves dedup, routing and bulk encoding. The
+        cached entry is ``(worker, record_prefix)`` where the prefix is
+        the frame's ready-made bulk group record minus the trailing
+        count (distinct flag bytes for one key cost one extra memo
+        entry each; only the key bytes feed the ring hash). Returns
+        ``None`` — uncached — when every worker is gone.
+        """
+        raw = frame[4:]
+        key = raw.decode("utf-8", "replace")
+        if not key:
+            raise ValueError("ACQUIRE needs a key")
+        if len(key) > wire.MAX_KEY_LENGTH:
+            raise ValueError(f"key longer than {wire.MAX_KEY_LENGTH}")
+        name = self.router._route(key)
+        if name is None:
+            return None
+        entry = (
+            name,
+            wire.BULK_GROUP_HEAD.pack(len(raw), frame[3]) + raw,
+        )
+        cache = self.router._route_cache
+        if len(cache) >= _ROUTE_CACHE_MAX:
+            cache.clear()
+        cache[frame] = entry
+        return entry
+
+    def _drain_binary(self) -> None:
+        """Route every complete frame in the buffer (the request hot loop).
+
+        Consecutive validated ACQUIRE frames form one batch, grouped by
+        verbatim frame bytes (= by key+flags, preserving per-key order);
+        a flush turns the groups into per-worker ``ACQUIRE_BULK``
+        frames and enqueues the scatter plan for the responder.
+        ``STATS``/``PING``/malformed frames are batch barriers,
+        enqueued in order behind the batches.
+        """
+        assert self.transport is not None
+        buffer = self._buffer
+        view = self._view
+        start = self._start
+        end = self._end
+        links = self._links
+        route = self.router._route_cache
+        queue_put = self._queue.put_nowait
+        #: verbatim ACQUIRE frame -> this batch's positions, in order
+        groups: Dict[bytes, List[int]] = {}
+        position = 0
+        oversized = False
+        acquire_op = wire.OP_ACQUIRE
+        max_frame = wire.MAX_FRAME
+        pack_count = wire.BULK_GROUP_COUNT.pack
+
+        def flush() -> None:
+            nonlocal groups, position
+            if not position:
+                return
+            #: worker name -> ([bulk records], [positions lists])
+            pending: Dict[str, Tuple[List[bytes], List[List[int]]]] = {}
+            plan: List[Tuple[Optional[str], List[List[int]]]] = []
+            for frame, positions in groups.items():
+                entry = route.get(frame)
+                if entry is None:
+                    # the ring changed underneath this batch (a remap
+                    # drops the whole memo): re-route to a survivor
+                    try:
+                        entry = self._route_frame(frame)
+                    except ValueError:  # pragma: no cover - validated above
+                        entry = None
+                if entry is None:
+                    # every worker is gone; the responder synthesizes
+                    plan.append((None, [positions]))
+                    continue
+                name, prefix = entry
+                bucket = pending.get(name)
+                if bucket is None:
+                    pending[name] = bucket = ([], [])
+                bucket[0].append(prefix + pack_count(len(positions)))
+                bucket[1].append(positions)
+            for name, (records, positions_lists) in pending.items():
+                link = links.get(name)
+                if link is not None and not link.dead:
+                    link.writer.write(_pack_bulk_frames(records))
+                plan.append((name, positions_lists))
+            self._outstanding += position
+            queue_put(("B", plan, position))
+            groups = {}
+            position = 0
+
+        while end - start >= 2:
+            length = buffer[start] | (buffer[start + 1] << 8)
+            if length > max_frame:
+                oversized = True
+                break
+            frame_end = start + 2 + length
+            if frame_end > end:
+                break
+            if length >= 3 and buffer[start + 2] == acquire_op:
+                frame = bytes(view[start:frame_end])
+                start = frame_end
+                group = groups.get(frame)
+                if group is not None:
+                    group.append(position)
+                    position += 1
+                    continue
+                if frame not in route:
+                    try:
+                        self._route_frame(frame)
+                    except ValueError as error:
+                        flush()
+                        queue_put(("E", str(error).encode(), False))
+                        continue
+                groups[frame] = [position]
+                position += 1
+                continue
+            payload = view[start + 2 : frame_end]
+            start = frame_end
+            try:
+                command, _key, _useful = wire.parse_request_binary(payload)
+            except ValueError as error:
+                flush()
+                queue_put(("E", str(error).encode(), False))
+                continue
+            if command == "S":
+                flush()
+                # Written synchronously, in parse order, so each worker
+                # link's FIFO stays aligned with the batch queue.
+                stats_frame = wire.encode_command_binary(wire.OP_STATS)
+                names = []
+                for name, link in links.items():
+                    if not link.dead:
+                        link.writer.write(stats_frame)
+                        names.append(name)
+                queue_put(("S", tuple(names)))
+            else:  # "P" (an ACQUIRE short enough to miss the fast path
+                # is malformed and raised above)
+                flush()
+                queue_put(("P",))
+        flush()
+        self._start = start
+        if oversized:
+            queue_put(
+                ("E", b"frame exceeds %d bytes" % wire.MAX_FRAME, True)
+            )
+            self.transport.pause_reading()  # cannot resync; dying anyway
+            return
+        if self._outstanding >= _PAUSE_OUTSTANDING and not self._paused:
+            self._paused = True
+            self.transport.pause_reading()
+
+    # ------------------------------------------------------------------
+    async def _respond(self) -> None:
+        """Reassemble worker replies into client order (the response loop)."""
+        get = self._queue.get
+        try:
+            while True:
+                item = await get()
+                transport = self.transport
+                if transport is None:
+                    return
+                kind = item[0]
+                if kind == "B":
+                    payload = await self._gather_batch(item[1], item[2])
+                    transport.write(payload)
+                    self._outstanding -= item[2]
+                    if self._paused and self._outstanding <= _RESUME_OUTSTANDING:
+                        self._paused = False
+                        transport.resume_reading()
+                elif kind == "S":
+                    document = await self._aggregate_stats(item[1])
+                    transport.write(
+                        wire.encode_status_binary(wire.STATUS_STATS, document)
+                    )
+                elif kind == "P":
+                    transport.write(wire.encode_status_binary(wire.STATUS_PONG))
+                else:  # "E": error frame; fatal ones close the connection
+                    transport.write(
+                        wire.encode_status_binary(wire.STATUS_ERROR, item[1])
+                    )
+                    if item[2]:
+                        transport.close()
+                        return
+        except (ConnectionError, OSError):  # pragma: no cover - client race
+            if self.transport is not None:
+                self.transport.close()
+
+    async def _gather_batch(
+        self,
+        plan: List[Tuple[Optional[str], List[List[int]]]],
+        total: int,
+    ) -> bytes:
+        """Collect one batch's worker replies, scattered to client order.
+
+        ``plan`` lists, per worker (in bulk write order), the request
+        positions of each group sent; every group owes one reply
+        (RUN or DECISION run) on that worker's link, in order. A
+        single-group batch skips the scatter entirely — the group's
+        positions are already ``0..total-1``.
+        """
+        if len(plan) == 1 and len(plan[0][1]) == 1:
+            name = plan[0][0]
+            link = self._links.get(name) if name is not None else None
+            if link is None or link.dead:
+                return _SYNTH_REJECT * total
+            return await self._read_group(name, link, total)
+        merged = np.empty(total, dtype=_DECISION_RECORD)
+        for name, positions_lists in plan:
+            link = self._links.get(name) if name is not None else None
+            for positions in positions_lists:
+                if link is None or link.dead:
+                    block = _SYNTH_REJECT * len(positions)
+                else:
+                    block = await self._read_group(name, link, len(positions))
+                merged[np.array(positions, dtype=np.intp)] = np.frombuffer(
+                    block, dtype=_DECISION_RECORD
+                )
+        return merged.tobytes()
+
+    async def _read_group(
+        self, name: str, link: _WorkerLink, count: int
+    ) -> bytes:
+        """One group's reply from a worker: always ``count`` decisions.
+
+        A deterministic worker answers a group with one 20-byte RUN
+        frame, expanded here; otherwise it sends ``count`` DECISION
+        frames, read in one ``readexactly``. Any read failure or
+        protocol surprise marks the worker lost and synthesizes REJECT
+        frames, keeping the client's stream complete and ordered.
+        """
+        size = wire.DECISION_FRAME_SIZE
+        try:
+            header = await link.reader.readexactly(3)
+            status = header[2]
+            if status == wire.STATUS_RUN:
+                tail = await link.reader.readexactly(wire.RUN_FRAME_SIZE - 3)
+                reason, admits, rejects, balance, retry = _RUN_TAIL.unpack(tail)
+                if admits + rejects != count:  # pragma: no cover - defensive
+                    raise ConnectionError("RUN count mismatch")
+                return _expand_run(reason, admits, rejects, balance, retry)
+            if status != wire.STATUS_DECISION:  # pragma: no cover - defensive
+                raise ConnectionError(f"unexpected worker status {status}")
+            rest = await link.reader.readexactly(size * count - 3)
+            return header + rest
+        except asyncio.IncompleteReadError:
+            self._worker_lost(name, link)
+            return _SYNTH_REJECT * count
+        except (ConnectionError, OSError):
+            self._worker_lost(name, link)
+            return _SYNTH_REJECT * count
+
+    def _worker_lost(self, name: str, link: _WorkerLink) -> None:
+        """Mark a link dead and report the worker to the ring."""
+        link.dead = True
+        try:
+            link.writer.close()
+        except RuntimeError:  # pragma: no cover - loop teardown race
+            pass
+        self.router.worker_failed(name)
+
+    async def _aggregate_stats(self, names: Tuple[str, ...]) -> bytes:
+        """Sum the forwarded workers' stats documents into one reply."""
+        totals = {
+            "admitted": 0,
+            "rejected": 0,
+            "keys": 0,
+            "evictions": 0,
+            "worker_connections": 0,
+        }
+        meta: Dict[str, object] = {}
+        for name in names:
+            link = self._links.get(name)
+            if link is None or link.dead:
+                continue
+            try:
+                header = await link.reader.readexactly(2)
+                length = header[0] | (header[1] << 8)
+                payload = await link.reader.readexactly(length)
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                self._worker_lost(name, link)
+                continue
+            if not length or payload[0] != wire.STATUS_STATS:
+                continue  # defensive; a worker only ever answers STATS here
+            document = json.loads(bytes(payload[1:]))
+            for field in ("admitted", "rejected", "keys", "evictions"):
+                totals[field] += int(document.get(field, 0))
+            totals["worker_connections"] += int(document.get("connections", 0))
+            meta.setdefault("strategy", document.get("strategy"))
+            meta.setdefault("period", document.get("period"))
+        router = self.router
+        document = dict(meta)
+        document.update(totals)
+        document["workers"] = len(router._workers)
+        document["remaps"] = router.remaps
+        document["connections"] = router.connections
+        return json.dumps(document, sort_keys=True).encode()
+
+
+class ClusterRouter:
+    """The front-end router: public binary port over a worker ring.
+
+    Parameters
+    ----------
+    workers:
+        ``name -> (host, port)`` of the live worker servers.
+    host, port:
+        Public bind address; port 0 picks a free port (read it back
+        from :attr:`port` after :meth:`start`).
+    replicas, seed:
+        Ring geometry — see :class:`~repro.serve.ring.HashRing`.
+    """
+
+    def __init__(
+        self,
+        workers: Mapping[str, Tuple[str, int]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        replicas: int = 96,
+        seed: int = 0,
+    ):
+        self._workers: Dict[str, Tuple[str, int]] = dict(workers)
+        self._ring = HashRing(self._workers, replicas=replicas, seed=seed)
+        self._route_cache: Dict[bytes, Tuple[str, bytes]] = {}
+        self.host = host
+        self.port = port
+        self.connections = 0
+        #: ring membership changes from worker failures so far
+        self.remaps = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._protocols: Set[_RouterConnection] = set()
+
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> Tuple[str, ...]:
+        """The live worker names, sorted."""
+        return tuple(sorted(self._workers))
+
+    def _route(self, key: str) -> Optional[str]:
+        """Resolve ``key``'s owner on the ring; ``None`` when it's empty."""
+        try:
+            return self._ring.owner(key)
+        except LookupError:
+            return None  # every worker is gone; callers synthesize
+
+    def worker_failed(self, name: str) -> None:
+        """Remove a dead worker: remap only its arcs, drop the memo.
+
+        Idempotent — the supervisor and any number of failed link reads
+        may all report the same death.
+        """
+        if name in self._ring:
+            self._ring.remove(name)
+            self.remaps += 1
+            self._route_cache.clear()
+        self._workers.pop(name, None)
+
+    # ------------------------------------------------------------------
+    async def start(self) -> "ClusterRouter":
+        """Bind the public port; resolves :attr:`port`."""
+        loop = asyncio.get_running_loop()
+        self._server = await loop.create_server(
+            lambda: _RouterConnection(self), self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def close(self) -> None:
+        """Stop accepting and drop every client connection."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for protocol in list(self._protocols):
+            if protocol.transport is not None:
+                protocol.transport.close()
+
+
+# ---------------------------------------------------------------------------
+# process orchestration (``repro serve --workers N``)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ClusterConfig:
+    """Everything needed to spawn and route one limiter cluster."""
+
+    workers: int
+    strategy: str
+    period: float = 1.0
+    spend_rate: Optional[int] = None
+    capacity: Optional[int] = None
+    shards: int = 8
+    max_keys: int = 65536
+    seed: Optional[int] = None
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: start fresh accounts empty (the paper's cold start) — keeps the
+    #: burst bound airtight across failure remaps
+    cold_start: bool = False
+    uvloop: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"need at least one worker, got {self.workers}")
+
+
+class WorkerHandle:
+    """One spawned worker process and its resolved address."""
+
+    def __init__(self, name: str, process: subprocess.Popen, host: str, port: int):
+        self.name = name
+        self.process = process
+        self.host = host
+        self.port = port
+
+    def alive(self) -> bool:
+        """Whether the worker process is still running."""
+        return self.process.poll() is None
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Terminate the worker (escalating to kill), reaping it."""
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck child
+                self.process.kill()
+                self.process.wait(timeout=timeout)
+
+
+def spawn_worker(
+    config: ClusterConfig, index: int, duration: Optional[float] = None
+) -> WorkerHandle:
+    """Fork one ``repro serve`` worker and scrape its announced port.
+
+    Workers bind port 0 on the cluster's host and announce the resolved
+    port on stdout; each gets a distinct decision-RNG seed. A finite
+    cluster ``duration`` becomes ``duration + 60`` in the worker — a
+    self-destruct against orphans if the router dies uncleanly.
+    """
+    argv = [
+        sys.executable,
+        "-u",  # the parent scrapes the announce line from a pipe
+        "-m",
+        "repro",
+        "serve",
+        "--strategy",
+        config.strategy,
+        "--period",
+        repr(config.period),
+        "--host",
+        config.host,
+        "--port",
+        "0",
+        "--shards",
+        str(config.shards),
+        # each worker owns ~1/N of the key space, so the global LRU
+        # budget splits across the fleet
+        "--max-keys",
+        str(max(config.shards, config.max_keys // config.workers)),
+    ]
+    if config.spend_rate is not None:
+        argv += ["-A", str(config.spend_rate)]
+    if config.capacity is not None:
+        argv += ["-C", str(config.capacity)]
+    if config.seed is not None:
+        argv += ["--seed", str(config.seed + index)]
+    if config.cold_start:
+        argv.append("--cold-start")
+    if config.uvloop:
+        argv.append("--uvloop")
+    if duration is not None:
+        argv += ["--duration", repr(duration + 60.0)]
+    process = subprocess.Popen(
+        argv,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    name = f"w{index}"
+    port: Optional[int] = None
+    assert process.stdout is not None
+    for _ in range(50):  # the announce is within the first few lines
+        line = process.stdout.readline()
+        if not line:
+            break
+        match = _ANNOUNCE.search(line)
+        if match:
+            port = int(match.group(1))
+            break
+    if port is None:
+        process.terminate()
+        process.wait(timeout=5.0)
+        raise RuntimeError(f"worker {name} never announced its port")
+    # Keep the pipe drained (the worker prints a stats line on exit).
+    drain = threading.Thread(
+        target=lambda: process.stdout.read(), name=f"drain-{name}", daemon=True
+    )
+    drain.start()
+    return WorkerHandle(name, process, config.host, port)
+
+
+async def _supervise(
+    router: ClusterRouter, handles: List[WorkerHandle], interval: float = 0.5
+) -> None:
+    """Poll worker processes; report deaths to the ring."""
+    while True:
+        for handle in handles:
+            if handle.process.poll() is not None:
+                router.worker_failed(handle.name)
+        await asyncio.sleep(interval)
+
+
+async def _final_stats(
+    router: ClusterRouter, handles: List[WorkerHandle]
+) -> Dict[str, int]:
+    """Aggregate worker counters for the shutdown summary line."""
+    from repro.serve.loadgen import fetch_stats
+
+    totals = {"admitted": 0, "rejected": 0, "keys": 0, "evictions": 0}
+    for handle in handles:
+        if not handle.alive():
+            continue
+        try:
+            document = await asyncio.wait_for(
+                fetch_stats(handle.host, handle.port), timeout=5.0
+            )
+        except (OSError, ValueError, asyncio.TimeoutError):
+            continue
+        for field in totals:
+            totals[field] += int(document.get(field, 0))
+    totals["workers"] = len(router._workers)
+    totals["remaps"] = router.remaps
+    return totals
+
+
+async def _run_router(
+    config: ClusterConfig,
+    handles: List[WorkerHandle],
+    duration: Optional[float],
+    announce,
+) -> Dict[str, int]:
+    """Serve the public port for ``duration`` seconds (forever if None)."""
+    router = ClusterRouter(
+        {handle.name: (handle.host, handle.port) for handle in handles},
+        host=config.host,
+        port=config.port,
+        seed=config.seed or 0,
+    )
+    await router.start()
+    announce(
+        f"routing {len(handles)}-worker admission cluster on "
+        f"{config.host}:{router.port} (period {config.period}s)"
+    )
+    supervisor = asyncio.get_running_loop().create_task(
+        _supervise(router, handles)
+    )
+    try:
+        if duration is None:
+            await asyncio.Event().wait()
+        else:
+            await asyncio.sleep(duration)
+    except asyncio.CancelledError:
+        pass
+    finally:
+        supervisor.cancel()
+        stats = await _final_stats(router, handles)
+        await router.close()
+    return stats
+
+
+def serve_cluster(
+    config: ClusterConfig,
+    duration: Optional[float] = None,
+    announce=print,
+) -> Dict[str, int]:
+    """Spawn the workers, run the router, tear everything down.
+
+    The ``repro serve --workers N`` entry point. Returns the final
+    aggregated counters (empty on an interrupted run). Workers are
+    always reaped — including on SIGTERM, which is translated to a
+    clean ``SystemExit`` so the ``finally`` teardown runs.
+    """
+    handles: List[WorkerHandle] = []
+    previous_handler = None
+    try:
+        previous_handler = signal.signal(
+            signal.SIGTERM, lambda *_: sys.exit(0)
+        )
+    except ValueError:  # pragma: no cover - not the main thread
+        previous_handler = None
+    stats: Dict[str, int] = {}
+    try:
+        for index in range(config.workers):
+            handles.append(spawn_worker(config, index, duration))
+        stats = asyncio.run(_run_router(config, handles, duration, announce))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if previous_handler is not None:
+            try:
+                signal.signal(signal.SIGTERM, previous_handler)
+            except ValueError:  # pragma: no cover - not the main thread
+                pass
+        for handle in handles:
+            handle.stop()
+    return stats

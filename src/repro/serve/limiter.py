@@ -220,6 +220,22 @@ class TokenAccountLimiter:
         # unlike the per-shard state the RNG is limiter-global.
         self._np_rng = np.random.default_rng(seed)
         self._np_rng_lock = threading.Lock()
+        # Whether try_acquire_run's closed form is exact for this
+        # strategy: a plain bounded bucket whose kernel is fully
+        # deterministic (no randRound fraction, 0/1 proactive coin) and
+        # never admits from an empty account. Deciding n back-to-back
+        # requests at one timestamp is then an admit-prefix walk down
+        # the balance — no per-request randomness to honor.
+        kernel = self._kernel
+        cap = self.strategy.token_capacity
+        self._run_closed_form = (
+            cap is not None
+            and cap > 0
+            and not kernel.clip_index
+            and max(kernel._frac_list) == 0.0
+            and all(p in (0.0, 1.0) for p in kernel._pro_list)
+            and kernel._pro_list[0] == 0.0
+        )
 
     # ------------------------------------------------------------------
     def _new_account(self) -> TokenAccount:
@@ -348,16 +364,21 @@ class TokenAccountLimiter:
         if now is None:
             now = self._clock()
         decisions: List[Optional[Decision]] = [None] * count
-        shards = self._table.shards
-        mask = self._table._mask
-        if mask == 0:
+        table = self._table
+        shards = table.shards
+        if table._mask == 0:
             groups: Dict[int, List[int]] = {0: list(range(count))}
         else:
-            # Group input positions by owning shard (same hash routing
-            # as shard_for, one hash per key).
+            # Group input positions by owning shard (same stable-hash
+            # routing as shard_for; the table's route memo makes the
+            # common repeated-key case a dict hit).
+            shard_index = table.shard_index
+            route_cache = table._route_cache
             groups = {}
             for position, key in enumerate(keys):
-                index = hash(key) & mask
+                index = route_cache.get(key)
+                if index is None:
+                    index = shard_index(key)
                 group = groups.get(index)
                 if group is None:
                     groups[index] = [position]
@@ -368,6 +389,82 @@ class TokenAccountLimiter:
             with shard.lock:
                 self._decide_batch(shard, keys, useful, positions, now, decisions)
         return decisions  # type: ignore[return-value]
+
+    def try_acquire_run(
+        self,
+        key: str,
+        count: int,
+        useful: bool = True,
+        now: Optional[float] = None,
+    ) -> Optional[tuple]:
+        """``count`` back-to-back decisions for one key, in closed form.
+
+        The bulk seam the cluster's ``ACQUIRE_BULK`` opcode rides on:
+        for deterministic strategies (see ``_run_closed_form``) the
+        outcome of n consecutive requests at one ``now`` is always an
+        admit prefix followed by rejections, so one balance walk under
+        the shard lock replaces n per-request decisions and Decision
+        allocations. Returns ``(admits, rejects, balance, reason,
+        retry_after)`` — ``balance`` is the pre-spend balance (admitted
+        requests observed ``balance-1 … balance-admits``, rejected ones
+        ``balance-admits``) — or ``None`` when the closed form does not
+        apply (randomized kernels, graded usefulness, overdraft or
+        capacity-0 strategies, or a run that would mix admit reasons);
+        the caller then falls back to :meth:`try_acquire_many`, which
+        is exact for every strategy. Counters, LRU touch and tick
+        accounting match the generic path exactly.
+        """
+        if count < 1:
+            raise ValueError(f"count must be positive, got {count}")
+        if not self._run_closed_form or not (useful is True or useful is False):
+            return None
+        if now is None:
+            now = self._clock()
+        kernel = self._kernel
+        int_lut = kernel._int_list
+        pro_lut = kernel._pro_list
+        offset = kernel.lut_span if useful else 0
+        shard = self._table.shard_for(key)
+        with shard.lock:
+            state = shard.get_or_create(key, self._new_account, now)
+            if now < state.last_now:
+                now = state.last_now
+            else:
+                state.last_now = now
+            self._advance(state, now)
+            account = state.account
+            balance = account.balance
+            # Pure walk first — no state mutated until the run is known
+            # to be single-reason, so a None return leaves the account
+            # exactly where try_acquire_many's fallback expects it
+            # (_advance at the same ``now`` is a no-op on retry).
+            admits = 0
+            reason: Optional[str] = None
+            x = balance
+            while admits < count and x >= 1:
+                if int_lut[x + offset] >= 1:
+                    branch = "reactive"
+                elif pro_lut[x] == 1.0:
+                    branch = "proactive"
+                else:
+                    break
+                if reason is None:
+                    reason = branch
+                elif branch != reason:
+                    return None
+                x -= 1
+                admits += 1
+            account.balance = x
+            account.spent += admits
+            shard.admitted += admits
+            rejects = count - admits
+            shard.rejected += rejects
+            retry = 0.0
+            if rejects:
+                retry = state.anchor + self.period - now
+                if retry < 0.0:
+                    retry = 0.0
+            return admits, rejects, balance, reason or "exhausted", retry
 
     def _decide_batch(
         self,

@@ -1,0 +1,171 @@
+"""Stable hashing and the consistent-hash ring behind the limiter cluster.
+
+Everything that routes a key to an owner — the in-process shard tables
+(:mod:`repro.serve.table`) and the multi-process cluster router
+(:mod:`repro.serve.cluster`) — must agree on the key's hash across
+*interpreter restarts and separate processes*. Python's builtin
+``hash(str)`` cannot do that: it is salted by ``PYTHONHASHSEED`` per
+process, so the same key lands on a different shard every run. The
+cluster contract (each key's token account lives on exactly one owner,
+so the §3.4 burst bound keeps holding per key) needs a hash that is a
+pure function of the key bytes.
+
+:func:`stable_hash` is that function: a 64-bit BLAKE2b digest (keyed by
+an optional seed), identical on every platform, interpreter and
+process. It is a C-speed ``hashlib`` call (~1 µs); the hot paths in
+front of it (shard selection, router frame routing) memoize key →
+owner in small dictionaries so repeated keys pay a dict hit, not a
+digest.
+
+:class:`HashRing` is the classic consistent-hash ring over that hash:
+each member owns ``replicas`` pseudo-random points on a 64-bit circle
+and a key belongs to the first member point at or after the key's own
+point. Removing a member hands *only that member's arcs* to its ring
+successors — in expectation ``1/W`` of the key space for ``W`` members
+— and never moves a key between two surviving members. That minimal
+disruption is exactly the cluster's failure-remap contract, and the
+property tests pin it.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from hashlib import blake2b
+from typing import Dict, Iterable, List, Tuple, Union
+
+__all__ = ["stable_hash", "HashRing"]
+
+#: seeds are folded into blake2b's ``key`` parameter as 8 bytes
+_SEED_MASK = 0xFFFFFFFFFFFFFFFF
+
+HashInput = Union[str, bytes, bytearray, memoryview]
+
+
+def stable_hash(data: HashInput, seed: int = 0) -> int:
+    """A 64-bit hash of ``data`` that is stable across processes and runs.
+
+    ``data`` may be ``str`` (hashed as UTF-8) or any bytes-like object
+    (hashed as-is, no copy — a ``memoryview`` into a receive buffer
+    works). ``seed`` keys the digest, giving independent hash functions
+    for independent uses (ring placement vs. anything else); the
+    default seed 0 is the common, cheapest path.
+    """
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    if seed:
+        digest = blake2b(
+            data, digest_size=8, key=(seed & _SEED_MASK).to_bytes(8, "little")
+        )
+    else:
+        digest = blake2b(data, digest_size=8)
+    return int.from_bytes(digest.digest(), "little")
+
+
+class HashRing:
+    """A consistent-hash ring mapping keys to member ids.
+
+    Parameters
+    ----------
+    members:
+        Initial member ids (any strings; the cluster uses worker names
+        like ``"w0"``).
+    replicas:
+        Virtual points per member. More points smooth the load split
+        (the share each member owns concentrates around ``1/W``) at the
+        cost of a larger sorted array; 96 keeps the worst-case member
+        share within a few percent of fair for small clusters.
+    seed:
+        Keys both the member-point placement and the key lookups, so
+        two rings built with the same members and seed are identical
+        in every process.
+
+    Lookup is ``O(log(W * replicas))`` via :func:`bisect.bisect_right`
+    over one sorted point array. Membership changes rebuild the arrays
+    (``O(W * replicas)``) — they are rare (worker death), while lookups
+    are the hot path.
+    """
+
+    __slots__ = ("replicas", "seed", "_member_points", "_points", "_owners")
+
+    def __init__(
+        self, members: Iterable[str] = (), replicas: int = 96, seed: int = 0
+    ):
+        if replicas < 1:
+            raise ValueError(f"need at least one replica per member, got {replicas}")
+        self.replicas = replicas
+        self.seed = seed
+        #: member id -> its virtual points (cached so removal is cheap)
+        self._member_points: Dict[str, List[int]] = {}
+        self._points: List[int] = []
+        self._owners: List[str] = []
+        for member in members:
+            self._place(member)
+        self._rebuild()
+
+    # ------------------------------------------------------------------
+    def _place(self, member: str) -> None:
+        """Compute and cache ``member``'s virtual points (no rebuild)."""
+        if member in self._member_points:
+            raise ValueError(f"member {member!r} is already on the ring")
+        self._member_points[member] = [
+            stable_hash(f"{member}#{replica}", self.seed)
+            for replica in range(self.replicas)
+        ]
+
+    def _rebuild(self) -> None:
+        """Re-sort the flat (point, owner) arrays after a membership change."""
+        pairs: List[Tuple[int, str]] = [
+            (point, member)
+            for member, points in self._member_points.items()
+            for point in points
+        ]
+        # Sorting by (point, member) makes point collisions — possible in
+        # principle, astronomically rare at 64 bits — deterministic too.
+        pairs.sort()
+        self._points = [point for point, _ in pairs]
+        self._owners = [member for _, member in pairs]
+
+    # ------------------------------------------------------------------
+    def add(self, member: str) -> None:
+        """Add a member; only keys in its new arcs change owner."""
+        self._place(member)
+        self._rebuild()
+
+    def remove(self, member: str) -> None:
+        """Remove a member; only keys it owned change owner.
+
+        Raises ``KeyError`` for an unknown member.
+        """
+        del self._member_points[member]
+        self._rebuild()
+
+    # ------------------------------------------------------------------
+    def owner(self, key: HashInput) -> str:
+        """The member owning ``key``; ``LookupError`` on an empty ring."""
+        return self.owner_of_hash(stable_hash(key, self.seed))
+
+    def owner_of_hash(self, value: int) -> str:
+        """The member owning an already-hashed key point.
+
+        Split out so callers that cache :func:`stable_hash` results (the
+        cluster router) skip re-hashing.
+        """
+        points = self._points
+        if not points:
+            raise LookupError("the ring has no members")
+        index = bisect_right(points, value)
+        if index == len(points):
+            index = 0  # wrap: the first point owns the top arc
+        return self._owners[index]
+
+    # ------------------------------------------------------------------
+    @property
+    def members(self) -> Tuple[str, ...]:
+        """The current member ids, sorted."""
+        return tuple(sorted(self._member_points))
+
+    def __len__(self) -> int:
+        return len(self._member_points)
+
+    def __contains__(self, member: object) -> bool:
+        return member in self._member_points

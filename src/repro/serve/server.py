@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from repro.serve import wire
 from repro.serve.limiter import TokenAccountLimiter
@@ -67,10 +67,12 @@ class _AdmissionProtocol(asyncio.BufferedProtocol):
     # ------------------------------------------------------------------
     def connection_made(self, transport) -> None:
         self.server.connections += 1
+        self.server._protocols.add(self)
         self.transport = transport
 
     def connection_lost(self, exc) -> None:
         self.server.connections -= 1
+        self.server._protocols.discard(self)
 
     # Tie the socket's read side to its write side: when the client
     # stops draining responses, stop accepting more requests instead of
@@ -180,6 +182,7 @@ class _AdmissionProtocol(asyncio.BufferedProtocol):
         flags_append = run_flags.append
         oversized = False
         acquire_op = wire.OP_ACQUIRE
+        bulk_op = wire.OP_ACQUIRE_BULK
         useful_flag = wire.FLAG_USEFUL
         key_limit = 2 + wire.MAX_KEY_LENGTH
         while end - start >= 2:
@@ -201,6 +204,21 @@ class _AdmissionProtocol(asyncio.BufferedProtocol):
                 keys_append(str(view[start + 4 : frame_end], "utf-8", "replace"))
                 flags_append(bool(buffer[start + 3] & useful_flag))
                 start = frame_end
+                continue
+            if length >= 7 and buffer[start + 2] == bulk_op:
+                # Cluster router bulk fan-in: a barrier like STATS (the
+                # router's per-link FIFO counts on response order).
+                payload = view[start + 2 : frame_end]
+                start = frame_end
+                self._flush_acquires(run_keys, run_flags, out)
+                try:
+                    self._respond_bulk(payload, out)
+                except ValueError as error:
+                    out.append(
+                        wire.encode_status_binary(
+                            wire.STATUS_ERROR, str(error).encode()
+                        )
+                    )
                 continue
             payload = view[start + 2 : frame_end]
             start = frame_end
@@ -253,6 +271,30 @@ class _AdmissionProtocol(asyncio.BufferedProtocol):
         keys.clear()
         flags.clear()
 
+    def _respond_bulk(self, payload, out: List[bytes]) -> None:
+        """Answer one ``ACQUIRE_BULK`` frame, one response per group.
+
+        Each group gets a closed-form ``RUN`` frame when the strategy
+        qualifies, or its ``count`` plain ``DECISION`` frames through
+        the exact generic batch path otherwise. One clock read covers
+        the whole frame — the same single-timestamp semantics a run of
+        plain ``ACQUIRE`` frames gets from ``try_acquire_many``.
+        """
+        groups = wire.parse_bulk_binary(payload)
+        limiter = self.limiter
+        now = limiter._clock()
+        run = limiter.try_acquire_run
+        for key, useful, count in groups:
+            result = run(key, count, useful, now=now)
+            if result is not None:
+                admits, rejects, balance, reason, retry = result
+                out.append(
+                    wire.encode_run_binary(reason, admits, rejects, balance, retry)
+                )
+            else:
+                decisions = limiter.try_acquire_many([key] * count, useful, now=now)
+                out.append(wire.encode_decisions_binary(decisions))
+
     # ------------------------------------------------------------------
     def _stats_json(self) -> bytes:
         stats = dict(self.limiter.stats(), connections=self.server.connections)
@@ -280,6 +322,7 @@ class AdmissionServer:
         self.port = port
         self.connections = 0
         self._server: Optional[asyncio.AbstractServer] = None
+        self._protocols: Set[_AdmissionProtocol] = set()
 
     # ------------------------------------------------------------------
     async def start(self) -> "AdmissionServer":
@@ -299,12 +342,47 @@ class AdmissionServer:
         async with self._server:
             await self._server.serve_forever()
 
-    async def close(self) -> None:
-        """Stop accepting and close the listening socket."""
+    async def close(self, drain_timeout: float = 5.0) -> None:
+        """Stop accepting, drain in-flight responses, close every transport.
+
+        A pipelined client can have kilobytes of DECISION frames sitting
+        in a transport's write buffer when the server shuts down;
+        ``transport.close()`` alone schedules an asynchronous flush that
+        dies with the event loop (``asyncio.run`` tears the loop down
+        immediately after the coroutine returns), silently truncating
+        the final response batch. So: stop reading (no new decisions),
+        then wait — up to ``drain_timeout`` seconds — for every
+        connection's write buffer to reach the socket, then close.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        protocols = list(self._protocols)
+        transports = []
+        for protocol in protocols:
+            transport = protocol.transport
+            if transport is None or transport.is_closing():
+                continue
+            # Freeze the request side first so the set of owed responses
+            # stops growing; pause_reading() is idempotent.
+            transport.pause_reading()
+            transports.append(transport)
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + drain_timeout
+        pending = transports
+        while pending:
+            pending = [
+                transport
+                for transport in pending
+                if not transport.is_closing()
+                and transport.get_write_buffer_size() > 0
+            ]
+            if not pending or loop.time() >= deadline:
+                break
+            await asyncio.sleep(0.01)
+        for transport in transports:
+            transport.close()
 
 
 async def run_server(

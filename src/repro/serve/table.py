@@ -11,15 +11,30 @@ exceeds ``max_keys / shards`` entries the least-recently-used key is
 dropped. An evicted key that returns starts a fresh (full) account —
 the standard rate-limiter trade-off; size ``max_keys`` for the working
 set so eviction only recycles idle keys.
+
+Shard selection uses :func:`repro.serve.ring.stable_hash` — the same
+seeded, non-randomized hash the cluster's consistent-hash ring routes
+with — **not** the builtin ``hash()``, whose ``PYTHONHASHSEED`` salt
+would scatter the same key across different shards on every interpreter
+restart. Stability makes shard assignment reproducible (tests pin it)
+and keeps one hashing discipline across the whole serving stack. The
+digest costs ~1 µs, so :meth:`ShardedTable.shard_index` memoizes
+key → shard in a bounded dictionary: a repeated key — the only kind a
+rate limiter ever sees twice — pays a dict hit.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.account import TokenAccount
+from repro.serve.ring import stable_hash
+
+#: shard-route memo budget; the whole memo is dropped when full, which
+#: is O(1) amortized and never serves a stale route (routes are pure)
+_ROUTE_CACHE_MAX = 65536
 
 #: builds a fresh account for a newly seen key
 AccountFactory = Callable[[], TokenAccount]
@@ -83,7 +98,7 @@ class Shard:
 class ShardedTable:
     """``shards`` independent :class:`Shard` maps with a global key budget."""
 
-    __slots__ = ("shards", "_mask")
+    __slots__ = ("shards", "_mask", "_route_cache")
 
     def __init__(self, shards: int = 8, max_keys: int = 65536):
         if shards < 1:
@@ -99,10 +114,32 @@ class ShardedTable:
         per_shard = max(1, max_keys // count)
         self.shards: List[Shard] = [Shard(per_shard) for _ in range(count)]
         self._mask = count - 1
+        self._route_cache: Dict[str, int] = {}
+
+    def shard_index(self, key: str) -> int:
+        """The index of the shard owning ``key`` (stable across processes).
+
+        Memoized: a full digest (:func:`~repro.serve.ring.stable_hash`)
+        is computed once per distinct key, then served from a bounded
+        dict. Safe under threads — the route is a pure function of the
+        key, so a racing double-compute or a concurrent ``clear`` can
+        only cost a recompute, never a wrong shard.
+        """
+        mask = self._mask
+        if not mask:
+            return 0
+        cache = self._route_cache
+        index = cache.get(key)
+        if index is None:
+            if len(cache) >= _ROUTE_CACHE_MAX:
+                cache.clear()
+            index = stable_hash(key) & mask
+            cache[key] = index
+        return index
 
     def shard_for(self, key: str) -> Shard:
-        """The shard owning ``key`` (stable within one process)."""
-        return self.shards[hash(key) & self._mask]
+        """The shard owning ``key`` (stable across interpreter restarts)."""
+        return self.shards[self.shard_index(key)]
 
     def __len__(self) -> int:
         return sum(len(shard.entries) for shard in self.shards)

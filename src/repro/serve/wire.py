@@ -42,9 +42,32 @@ request payload        meaning
 ``ACQUIRE flags key``  one admission decision; ``flags`` bit 0 is the
                        usefulness flag, ``key`` is the UTF-8 key (the
                        rest of the payload)
+``ACQUIRE_BULK ...``   a run of per-key admission groups (cluster
+                       router → worker only; see *Bulk admission*)
 ``STATS``              JSON stats document
 ``PING``               liveness echo
 =====================  ==================================================
+
+Bulk admission (router → worker)
+--------------------------------
+The cluster router (:mod:`repro.serve.cluster`) already reorders
+responses back into client order, so it is free to *group* a pipelined
+batch by key before fanning it out. ``ACQUIRE_BULK`` carries those
+groups compactly — the opcode byte followed by repeated group records::
+
+    u16 keylen | u8 flags | keylen bytes of UTF-8 key | u16 count
+
+and asks for ``count`` back-to-back admission decisions per group. The
+worker answers **per group, in order** with either one ``RUN`` frame
+(struct :data:`RUN_STRUCT`: status, reason code, u16 admits, u16
+rejects, ``i32`` pre-spend balance, ``f64`` retry-after) meaning "the
+first ``admits`` requests were admitted with balances ``balance-1 …
+balance-admits``, the rest rejected at ``balance-admits`` with that
+retry hint" — or, when the limiter's strategy cannot guarantee that
+admit-prefix shape (randomized strategies), the group's ``count``
+plain ``DECISION`` frames. Plain clients never speak this opcode; it
+exists so a trusted aggregator can collapse per-request framing
+without changing any per-key admission outcome.
 
 Response payloads start with a status byte: ``DECISION`` responses are
 a fixed 15-byte payload (struct ``<BBBid``: status, admitted, reason
@@ -82,16 +105,19 @@ MAX_KEY_LENGTH = 256
 #: binary hello: sentinel byte (never starts a text command), "TA", version
 MAGIC = b"\xabTA\x01"
 
-#: request opcodes
+#: request opcodes (``OP_ACQUIRE_BULK`` is spoken only by the cluster
+#: router; see *Bulk admission* in the module docstring)
 OP_ACQUIRE = 1
 OP_STATS = 2
 OP_PING = 3
+OP_ACQUIRE_BULK = 4
 
-#: response status codes
+#: response status codes (``STATUS_RUN`` answers one bulk group)
 STATUS_ERROR = 0
 STATUS_DECISION = 1
 STATUS_STATS = 2
 STATUS_PONG = 3
+STATUS_RUN = 4
 
 #: ``ACQUIRE`` flags bit 0: Algorithm 4's usefulness flag
 FLAG_USEFUL = 1
@@ -111,6 +137,19 @@ _DECISION_BODY = struct.Struct("<BBBid")
 
 #: u16 length prefix + opcode + flags (an ACQUIRE request's fixed part)
 ACQUIRE_HEADER = struct.Struct("<HBB")
+
+#: one ``ACQUIRE_BULK`` group record's fixed head: u16 keylen, u8 flags
+#: (the key bytes follow, then the u16 request count)
+BULK_GROUP_HEAD = struct.Struct("<HB")
+#: the group's trailing request count
+BULK_GROUP_COUNT = struct.Struct("<H")
+
+#: a whole ``RUN`` response frame, length prefix included: u16 length
+#: (=18), status, reason code, u16 admits, u16 rejects, i32 pre-spend
+#: balance, f64 retry-after for the rejected suffix
+RUN_STRUCT = struct.Struct("<HBBHHid")
+#: bytes per ``RUN`` response frame on the wire
+RUN_FRAME_SIZE = RUN_STRUCT.size
 
 #: hard ceiling on one frame's payload — fits the longest key in UTF-8
 #: with generous slack, and bounds a malicious length prefix
@@ -254,6 +293,79 @@ def encode_decisions_binary(decisions) -> bytes:
         )
         offset += DECISION_FRAME_SIZE
     return bytes(buf)
+
+
+def encode_bulk_binary(groups) -> bytes:
+    """One ``ACQUIRE_BULK`` request frame (cluster router side).
+
+    ``groups`` is an iterable of ``(key_bytes, flags, count)`` records.
+    The caller owns the :data:`MAX_FRAME` budget — split large batches
+    across several bulk frames (group order is what carries semantics,
+    not frame boundaries).
+    """
+    parts = [b"", bytes((OP_ACQUIRE_BULK,))]
+    for raw, flags, count in groups:
+        parts.append(BULK_GROUP_HEAD.pack(len(raw), flags))
+        parts.append(raw)
+        parts.append(BULK_GROUP_COUNT.pack(count))
+    payload_len = sum(len(part) for part in parts)
+    if payload_len > MAX_FRAME:
+        raise ValueError(f"bulk frame payload {payload_len} exceeds {MAX_FRAME}")
+    parts[0] = _LENGTH.pack(payload_len)
+    return b"".join(parts)
+
+
+def parse_bulk_binary(payload: Union[bytes, bytearray, memoryview]):
+    """Parse an ``ACQUIRE_BULK`` payload into ``(key, useful, count)`` groups.
+
+    ``payload`` excludes the length prefix but includes the opcode byte.
+    Malformed records raise ``ValueError`` (the worker answers with an
+    error frame and drops the link — only the router speaks this).
+    """
+    groups = []
+    offset = 1  # past the opcode byte
+    total = len(payload)
+    head = BULK_GROUP_HEAD
+    trailer = BULK_GROUP_COUNT
+    while offset < total:
+        if total - offset < head.size:
+            raise ValueError("truncated bulk group head")
+        keylen, flags = head.unpack_from(payload, offset)
+        offset += head.size
+        if keylen == 0 or total - offset < keylen + trailer.size:
+            raise ValueError("truncated bulk group key")
+        key = bytes(payload[offset : offset + keylen]).decode("utf-8", "replace")
+        if len(key) > MAX_KEY_LENGTH:
+            raise ValueError(f"key longer than {MAX_KEY_LENGTH}")
+        offset += keylen
+        (count,) = trailer.unpack_from(payload, offset)
+        offset += trailer.size
+        if count == 0:
+            raise ValueError("bulk group with zero requests")
+        groups.append((key, bool(flags & FLAG_USEFUL), count))
+    if not groups:
+        raise ValueError("empty bulk frame")
+    return groups
+
+
+def encode_run_binary(
+    reason: str, admits: int, rejects: int, balance: int, retry: float
+) -> bytes:
+    """One ``RUN`` response frame for a bulk group (worker side).
+
+    ``balance`` is the group's pre-spend balance: the ``admits``
+    admitted requests drained it to ``balance - admits``, which is the
+    balance every rejected request observed.
+    """
+    return RUN_STRUCT.pack(
+        RUN_FRAME_SIZE - 2,
+        STATUS_RUN,
+        REASON_CODES.get(reason, 0),
+        admits,
+        rejects,
+        balance,
+        retry,
+    )
 
 
 def encode_status_binary(status: int, body: bytes = b"") -> bytes:

@@ -211,6 +211,10 @@ def serve_doc() -> dict:
             "speedup_vs_scalar": 2.5,
         },
         "loopback_binary": {"decisions_per_second": 150_000.0},
+        "loopback_cluster_2w": {
+            "decisions_per_second": 240_000.0,
+            "speedup_vs_single_process": 1.6,
+        },
     }
 
 

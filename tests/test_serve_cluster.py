@@ -1,0 +1,459 @@
+"""The multi-process limiter cluster, tested in-process.
+
+The router and the workers are plain asyncio servers, so everything but
+the actual ``fork`` can run inside one event loop: real sockets, the
+real binary protocol, the real bulk fan-out and reorder path — with
+worker "death" staged by closing a worker server under the router. The
+one subprocess test at the bottom smokes the actual ``repro serve
+--workers N`` entry point end to end.
+
+The load-bearing claims:
+
+* response order is the request order, across keys, workers and frame
+  kinds (DECISION runs, STATS, PING, errors interleave correctly);
+* cluster STATS aggregates the per-worker counters;
+* killing a worker remaps only its keys, synthesizes rejects for the
+  in-flight tail, and — with ``--cold-start`` workers — keeps the
+  paper's §3.4 burst bound intact *through* the failover, which the
+  same :class:`~repro.core.ratelimit.RateLimitAuditor` the simulation
+  uses verifies post-hoc.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.ratelimit import RateLimitAuditor
+from repro.serve import AdmissionServer, TokenAccountLimiter, wire
+from repro.serve.cluster import ClusterRouter, _expand_run
+from repro.serve.limiter import Decision
+
+
+def make_limiter(**overrides) -> TokenAccountLimiter:
+    kwargs = dict(
+        strategy="simple", capacity=3, period=50.0, shards=2, seed=1
+    )
+    kwargs.update(overrides)
+    return TokenAccountLimiter(**kwargs)
+
+
+async def start_cluster(workers: int = 2, **limiter_overrides):
+    """``workers`` in-process worker servers behind one router."""
+    servers = []
+    addresses = {}
+    for index in range(workers):
+        limiter = make_limiter(**limiter_overrides)
+        server = await AdmissionServer(limiter, host="127.0.0.1", port=0).start()
+        servers.append(server)
+        addresses[f"w{index}"] = ("127.0.0.1", server.port)
+    router = await ClusterRouter(addresses, host="127.0.0.1", port=0).start()
+    return router, servers
+
+
+async def binary_session(port: int):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(wire.MAGIC)
+    await writer.drain()
+    assert await reader.readexactly(len(wire.MAGIC)) == wire.MAGIC
+    return reader, writer
+
+
+async def acquire_many(reader, writer, keys, useful: bool = True):
+    """Pipeline ACQUIREs for ``keys`` and collect the ordered decisions."""
+    writer.write(
+        b"".join(wire.encode_request_binary(key, useful) for key in keys)
+    )
+    await writer.drain()
+    decisions = []
+    for key in keys:
+        frame = await reader.readexactly(wire.DECISION_FRAME_SIZE)
+        status, decision = wire.decode_response_binary(frame[2:], key=key)
+        assert status == wire.STATUS_DECISION
+        decisions.append(decision)
+    return decisions
+
+
+async def fetch_cluster_stats(reader, writer) -> dict:
+    writer.write(wire.encode_command_binary(wire.OP_STATS))
+    await writer.drain()
+    header = await reader.readexactly(2)
+    length = header[0] | (header[1] << 8)
+    payload = await reader.readexactly(length)
+    assert payload[0] == wire.STATUS_STATS
+    return json.loads(payload[1:])
+
+
+async def teardown(router, servers, *connections):
+    for _, writer in connections:
+        writer.close()
+    await router.close()
+    for server in servers:
+        await server.close()
+
+
+# ----------------------------------------------------------------------
+# RUN expansion: the router's client-facing frame synthesis
+# ----------------------------------------------------------------------
+def test_expand_run_matches_per_decision_encoding():
+    """Expanding a RUN must produce byte-identical frames to what the
+    worker would have sent for the same sequential decisions."""
+    reason = wire.REASON_CODES["reactive"]
+    expected = b"".join(
+        [
+            wire.encode_decision_binary(Decision(True, "k", "reactive", 4)),
+            wire.encode_decision_binary(Decision(True, "k", "reactive", 3)),
+            wire.encode_decision_binary(Decision(True, "k", "reactive", 2)),
+            wire.encode_decision_binary(
+                Decision(False, "k", "exhausted", 2, 7.25)
+            ),
+            wire.encode_decision_binary(
+                Decision(False, "k", "exhausted", 2, 7.25)
+            ),
+        ]
+    )
+    assert _expand_run(reason, 3, 2, 5, 7.25) == expected
+    # pure-admit and pure-reject runs
+    assert _expand_run(reason, 2, 0, 2, 0.0) == b"".join(
+        wire.encode_decision_binary(Decision(True, "k", "reactive", b))
+        for b in (1, 0)
+    )
+    assert _expand_run(reason, 0, 3, 0, 1.5) == (
+        wire.encode_decision_binary(Decision(False, "k", "exhausted", 0, 1.5))
+        * 3
+    )
+
+
+# ----------------------------------------------------------------------
+# routing, ordering, aggregation
+# ----------------------------------------------------------------------
+def test_cluster_orders_pipelined_decisions_across_keys():
+    async def scenario():
+        router, servers = await start_cluster(2)
+        session = await binary_session(router.port)
+        # 6 keys x 5 requests, interleaved: per key the responses must
+        # be 3 admits with descending balances then 2 rejects, and the
+        # stream must be in exact request order
+        keys = [f"k{i % 6}" for i in range(30)]
+        decisions = await acquire_many(*session, keys)
+        await teardown(router, servers, session)
+        return keys, decisions
+
+    keys, decisions = asyncio.run(scenario())
+    per_key = {}
+    for key, decision in zip(keys, decisions):
+        per_key.setdefault(key, []).append(decision)
+    assert set(per_key) == {f"k{i}" for i in range(6)}
+    for sequence in per_key.values():
+        assert [d.admitted for d in sequence] == [True] * 3 + [False] * 2
+        assert [d.balance for d in sequence] == [2, 1, 0, 0, 0]
+        assert all(d.retry_after > 0 for d in sequence if not d.admitted)
+
+
+def test_cluster_keys_spread_over_both_workers():
+    async def scenario():
+        router, servers = await start_cluster(2)
+        session = await binary_session(router.port)
+        keys = [f"key{i}" for i in range(64)]
+        await acquire_many(*session, keys)
+        owners = {key: router._ring.owner(key) for key in keys}
+        per_worker = [server.limiter.admitted for server in servers]
+        await teardown(router, servers, session)
+        return owners, per_worker
+
+    owners, per_worker = asyncio.run(scenario())
+    # the ring split the key space and each worker decided its share
+    assert set(owners.values()) == {"w0", "w1"}
+    counts = {
+        name: sum(1 for owner in owners.values() if owner == name)
+        for name in ("w0", "w1")
+    }
+    assert sorted(per_worker) == sorted(counts.values())
+
+
+def test_cluster_aggregates_stats_and_answers_ping():
+    async def scenario():
+        router, servers = await start_cluster(2)
+        session = await binary_session(router.port)
+        reader, writer = session
+        await acquire_many(reader, writer, [f"k{i % 4}" for i in range(20)])
+        stats = await fetch_cluster_stats(reader, writer)
+        writer.write(wire.encode_command_binary(wire.OP_PING))
+        await writer.drain()
+        pong = await reader.readexactly(3)
+        await teardown(router, servers, session)
+        return stats, pong
+
+    stats, pong = asyncio.run(scenario())
+    # 4 keys x 5 requests against C=3: 12 admits, 8 rejects, summed
+    # across the two workers
+    assert stats["admitted"] == 12 and stats["rejected"] == 8
+    assert stats["keys"] == 4
+    assert stats["workers"] == 2 and stats["remaps"] == 0
+    assert stats["connections"] == 1
+    assert stats["worker_connections"] == 2  # one link per worker
+    assert pong[2] == wire.STATUS_PONG
+
+
+def test_cluster_mixed_usefulness_flags_stay_per_request():
+    async def scenario():
+        # generalized from balance 3 at A=3: useless is rejected where
+        # useful is admitted, so flag mixups would flip outcomes
+        router, servers = await start_cluster(
+            2,
+            strategy="generalized",
+            spend_rate=3,
+            capacity=6,
+            initial_tokens=3,
+        )
+        session = await binary_session(router.port)
+        reader, writer = session
+        writer.write(
+            wire.encode_request_binary("k", useful=False)
+            + wire.encode_request_binary("k", useful=True)
+            + wire.encode_request_binary("k", useful=False)
+        )
+        await writer.drain()
+        frames = [
+            await reader.readexactly(wire.DECISION_FRAME_SIZE)
+            for _ in range(3)
+        ]
+        await teardown(router, servers, session)
+        return [
+            wire.decode_response_binary(frame[2:], key="k")[1]
+            for frame in frames
+        ]
+
+    useless, useful, useless_again = asyncio.run(scenario())
+    assert not useless.admitted
+    assert useful.admitted
+    assert not useless_again.admitted
+
+
+def test_cluster_answers_errors_in_order_and_survives_them():
+    async def scenario():
+        router, servers = await start_cluster(2)
+        session = await binary_session(router.port)
+        reader, writer = session
+        # valid, malformed (empty key), valid: the error frame must
+        # land between the two decisions and the session must survive
+        empty_key = wire.ACQUIRE_HEADER.pack(2, wire.OP_ACQUIRE, 1)
+        writer.write(
+            wire.encode_request_binary("a")
+            + empty_key
+            + wire.encode_request_binary("a")
+        )
+        await writer.drain()
+        first = await reader.readexactly(wire.DECISION_FRAME_SIZE)
+        header = await reader.readexactly(2)
+        length = header[0] | (header[1] << 8)
+        error = await reader.readexactly(length)
+        second = await reader.readexactly(wire.DECISION_FRAME_SIZE)
+        await teardown(router, servers, session)
+        return first, error, second
+
+    first, error, second = asyncio.run(scenario())
+    assert first[2] == wire.STATUS_DECISION
+    assert error[0] == wire.STATUS_ERROR
+    assert b"key" in error[1:]
+    assert second[2] == wire.STATUS_DECISION
+    # both valid requests were decided (balances 2 then 1)
+    assert wire.decode_response_binary(second[2:], key="a")[1].balance == 1
+
+
+def test_cluster_refuses_text_clients():
+    async def scenario():
+        router, servers = await start_cluster(2)
+        reader, writer = await asyncio.open_connection("127.0.0.1", router.port)
+        writer.write(b"A key\n")
+        await writer.drain()
+        line = await reader.readline()
+        closed = await reader.read()
+        writer.close()
+        await teardown(router, servers)
+        return line, closed
+
+    line, closed = asyncio.run(scenario())
+    assert line.startswith(b"!")
+    assert b"binary" in line
+    assert closed == b""
+
+
+# ----------------------------------------------------------------------
+# worker failure: remap, synthesized rejects, the audited burst bound
+# ----------------------------------------------------------------------
+def test_worker_failed_is_idempotent():
+    async def scenario():
+        router, servers = await start_cluster(2)
+        router.worker_failed("w0")
+        router.worker_failed("w0")  # a second report must not re-remap
+        remaps, members = router.remaps, router.workers
+        await teardown(router, servers)
+        return remaps, members
+
+    remaps, members = asyncio.run(scenario())
+    assert remaps == 1
+    assert members == ("w1",)
+
+
+def test_cluster_remaps_a_dead_workers_keys_to_the_survivor():
+    async def scenario():
+        router, servers = await start_cluster(2)
+        session = await binary_session(router.port)
+        reader, writer = session
+        victim_key = next(
+            f"k{i}" for i in range(100) if router._ring.owner(f"k{i}") == "w0"
+        )
+        survivor_key = next(
+            f"s{i}" for i in range(100) if router._ring.owner(f"s{i}") == "w1"
+        )
+        before = await acquire_many(reader, writer, [victim_key] * 2)
+        await servers[0].close()  # the worker dies under the router
+        # the next batch still routes to the dead link: its requests
+        # come back as synthesized rejects, and the failure is remapped
+        synthesized = await acquire_many(reader, writer, [victim_key])
+        healed = await acquire_many(
+            reader, writer, [victim_key, survivor_key, victim_key]
+        )
+        stats = await fetch_cluster_stats(reader, writer)
+        remaps = router.remaps
+        survivor_admitted = servers[1].limiter.admitted
+        await teardown(router, servers, session)
+        return before, synthesized, healed, stats, remaps, survivor_admitted
+
+    before, synthesized, healed, stats, remaps, survivor_admitted = asyncio.run(
+        scenario()
+    )
+    assert [d.admitted for d in before] == [True, True]
+    # in-flight tail at the death: rejected, not a protocol error
+    assert [d.admitted for d in synthesized] == [False]
+    assert synthesized[0].reason == "exhausted"
+    assert remaps == 1
+    # after the remap the victim's key lives on the survivor (a fresh
+    # account: its 3 tokens admit again), the survivor's key untouched
+    assert [d.admitted for d in healed] == [True, True, True]
+    assert stats["workers"] == 1 and stats["remaps"] == 1
+    assert survivor_admitted >= 3
+
+
+def test_cluster_burst_bound_holds_through_a_worker_kill():
+    """The acceptance property: per-key admissions audited through the
+    router never exceed ``ceil(t/Δ) + C`` — including across a worker
+    kill and remap, because cold-start workers give a remapped key an
+    *empty* account instead of a fresh burst allowance."""
+    period = 0.15
+    capacity = 2
+
+    async def scenario():
+        router, servers = await start_cluster(
+            2, capacity=capacity, period=period, initial_tokens=0
+        )
+        session = await binary_session(router.port)
+        reader, writer = session
+        key = "audited"
+        victim = router._ring.owner(key)
+        victim_index = int(victim[1:])
+        auditor = RateLimitAuditor(network=None)
+        admissions = 0
+        killed_at = None
+        deadline = time.monotonic() + 9 * period
+        while time.monotonic() < deadline:
+            (decision,) = await acquire_many(reader, writer, [key])
+            if decision.admitted:
+                auditor.record(0, time.monotonic())
+                admissions += 1
+            if killed_at is None and time.monotonic() > deadline - 5 * period:
+                await servers[victim_index].close()
+                killed_at = time.monotonic()
+            await asyncio.sleep(period / 40)
+        remaps = router.remaps
+        await teardown(router, servers, session)
+        return auditor, admissions, remaps
+
+    auditor, admissions, remaps = asyncio.run(scenario())
+    assert remaps == 1, "the kill must have been detected and remapped"
+    assert admissions >= 2, "the pacer must admit through the failover"
+    violations = auditor.check(period=period, capacity=capacity)
+    assert not violations, violations
+
+
+# ----------------------------------------------------------------------
+# the real thing: `repro serve --workers 2` as a subprocess
+# ----------------------------------------------------------------------
+def test_cluster_cli_smoke():
+    announce = re.compile(r"on [0-9.]+:(\d+)")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(os.path.dirname(__file__), "..", "src")]
+        + env.get("PYTHONPATH", "").split(os.pathsep)
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-u",
+            "-m",
+            "repro",
+            "serve",
+            "--workers",
+            "2",
+            "--strategy",
+            "simple",
+            "-C",
+            "3",
+            "--period",
+            "50",
+            "--host",
+            "127.0.0.1",
+            "--port",
+            "0",
+            "--duration",
+            "60",
+            "--seed",
+            "1",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        port = None
+        assert process.stdout is not None
+        for _ in range(50):
+            line = process.stdout.readline()
+            if not line:
+                break
+            if "routing" in line:
+                match = announce.search(line)
+                assert match, line
+                port = int(match.group(1))
+                break
+        assert port, "the router never announced its port"
+
+        async def drive():
+            session = await binary_session(port)
+            decisions = await acquire_many(
+                *session, [f"k{i % 4}" for i in range(20)]
+            )
+            stats = await fetch_cluster_stats(*session)
+            session[1].close()
+            return decisions, stats
+
+        decisions, stats = asyncio.run(drive())
+        assert sum(d.admitted for d in decisions) == 12  # 4 keys x C=3
+        assert stats["workers"] == 2
+        assert stats["admitted"] == 12 and stats["rejected"] == 8
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:  # pragma: no cover
+            process.kill()
+            process.wait(timeout=10)

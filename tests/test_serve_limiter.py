@@ -453,3 +453,90 @@ def test_stale_now_clamps_in_batches_too():
     # a batch at a *fresh* now still accrues normally afterwards
     (fresh,) = limiter.try_acquire_many(["k"], now=10.0 + PERIOD)
     assert fresh.admitted
+
+
+# ----------------------------------------------------------------------
+# try_acquire_run: the cluster's closed-form bulk seam
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", ["simple", "generalized"])
+@pytest.mark.parametrize("useful", [True, False])
+def test_run_matches_sequential_acquires(name, useful):
+    """For deterministic strategies the closed form must be bit-for-bit
+    the same as n sequential ``try_acquire`` calls: same admit count,
+    same observed balances, same counters, same retry hint."""
+    clock_a, clock_b = ManualClock(), ManualClock()
+    run_limiter = make_limiter(name, clock_a)
+    ref_limiter = make_limiter(name, clock_b)
+    for step, count in enumerate([1, 3, 7, 2, 11, 4]):
+        now = float(step) * 2.5
+        reference = [
+            ref_limiter.try_acquire("k", useful=useful, now=now)
+            for _ in range(count)
+        ]
+        result = run_limiter.try_acquire_run("k", count, useful=useful, now=now)
+        assert result is not None, "closed form must apply to " + name
+        admits, rejects, balance, reason, retry = result
+        assert admits == sum(d.admitted for d in reference)
+        assert rejects == count - admits
+        # admitted requests observed balance-1 .. balance-admits, and
+        # every reject the leftover balance — same as the sequence
+        expected_balances = [balance - i - 1 for i in range(admits)] + [
+            balance - admits
+        ] * rejects
+        assert [d.balance for d in reference] == expected_balances
+        if admits:
+            assert {d.reason for d in reference if d.admitted} == {reason}
+        if rejects:
+            last = reference[-1]
+            assert last.retry_after is not None
+            assert retry == pytest.approx(last.retry_after)
+    assert run_limiter.admitted == ref_limiter.admitted
+    assert run_limiter.rejected == ref_limiter.rejected
+
+
+def test_run_declines_when_the_closed_form_cannot_apply():
+    clock = ManualClock()
+    random_limiter = make_limiter("randomized", clock)
+    assert random_limiter.try_acquire_run("k", 4) is None
+    overdraft_limiter = make_limiter("reactive", clock)
+    assert overdraft_limiter.try_acquire_run("k", 4) is None
+    slot_limiter = make_limiter("proactive", clock)  # capacity 0
+    assert slot_limiter.try_acquire_run("k", 4) is None
+    deterministic = make_limiter("generalized", clock)
+    # graded usefulness is per-request state the run cannot carry
+    assert deterministic.try_acquire_run("k", 4, useful=0.5) is None
+    with pytest.raises(ValueError):
+        deterministic.try_acquire_run("k", 0)
+
+
+def test_run_decline_leaves_state_reusable_by_the_fallback():
+    """A ``None`` return must not have mutated anything: the fallback
+    ``try_acquire_many`` at the same ``now`` then behaves exactly as if
+    the run was never attempted."""
+    clock_a, clock_b = ManualClock(), ManualClock()
+    probed = make_limiter("randomized", clock_a)
+    control = make_limiter("randomized", clock_b)
+    assert probed.try_acquire_run("k", 3, now=5.0) is None
+    after_probe = probed.try_acquire_many(["k"] * 3, now=5.0)
+    clean = control.try_acquire_many(["k"] * 3, now=5.0)
+    assert [(d.admitted, d.balance) for d in after_probe] == [
+        (d.admitted, d.balance) for d in clean
+    ]
+    assert probed.admitted == control.admitted
+    assert probed.rejected == control.rejected
+
+
+def test_run_accrues_ticks_like_the_scalar_path():
+    clock_a, clock_b = ManualClock(), ManualClock()
+    run_limiter = make_limiter("simple", clock_a)  # C = 5
+    ref_limiter = make_limiter("simple", clock_b)
+    # drain, then let 3 periods accrue before the next run
+    assert run_limiter.try_acquire_run("k", 8, now=1.0)[0] == 5
+    [ref_limiter.try_acquire("k", now=1.0) for _ in range(8)]
+    later = 1.0 + 3 * PERIOD
+    admits, rejects, balance, _, _ = run_limiter.try_acquire_run(
+        "k", 8, now=later
+    )
+    reference = [ref_limiter.try_acquire("k", now=later) for _ in range(8)]
+    assert admits == sum(d.admitted for d in reference) == 3
+    assert balance == 3 and rejects == 5

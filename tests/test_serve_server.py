@@ -250,3 +250,57 @@ def test_run_server_duration_returns():
 
     notes = asyncio.run(scenario())
     assert len(notes) == 1 and "admission control" in notes[0]
+
+
+# ----------------------------------------------------------------------
+# close() drains in-flight pipelined responses (shutdown regression)
+# ----------------------------------------------------------------------
+def test_close_drains_pipelined_responses_to_a_slow_reader():
+    """A shutdown must not truncate responses already owed to a client.
+
+    The regression: a pipelined burst leaves kilobytes of DECISION
+    frames in the transport's write buffer; a bare ``transport.close()``
+    schedules the flush on a loop that is about to die, so the tail of
+    the burst silently vanished. ``close()`` now pauses reading and
+    waits for the buffers to reach the socket before closing.
+    """
+    requests = 6000
+
+    async def scenario():
+        limiter = TokenAccountLimiter(
+            "simple", capacity=3, period=50.0, shards=2, seed=1
+        )
+        server = await AdmissionServer(limiter, host="127.0.0.1", port=0).start()
+        reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+        writer.write(wire.MAGIC)
+        await writer.drain()
+        assert await reader.readexactly(len(wire.MAGIC)) == wire.MAGIC
+        writer.write(wire.encode_request_binary("k") * requests)
+        await writer.drain()
+        # Let the server decide the whole burst; with the client not
+        # reading, most of it is now parked in the write buffer.
+        await asyncio.sleep(0.2)
+
+        received = bytearray()
+
+        async def slow_slurp():
+            while True:
+                chunk = await reader.read(4096)
+                if not chunk:
+                    return
+                received.extend(chunk)
+                await asyncio.sleep(0.001)
+
+        slurp = asyncio.get_running_loop().create_task(slow_slurp())
+        await server.close()  # must wait for the reader, not truncate
+        await slurp
+        writer.close()
+        return bytes(received)
+
+    received = asyncio.run(scenario())
+    assert len(received) == requests * wire.DECISION_FRAME_SIZE
+    # every frame intact: all DECISION status bytes on the 17-byte grid
+    assert all(
+        received[i + 2] == wire.STATUS_DECISION
+        for i in range(0, len(received), wire.DECISION_FRAME_SIZE)
+    )

@@ -343,3 +343,160 @@ def test_binary_usefulness_flag_reaches_the_limiter():
         await server.close()
 
     _run(scenario())
+
+
+# ----------------------------------------------------------------------
+# the bulk admission opcode (cluster router -> worker)
+# ----------------------------------------------------------------------
+bulk_groups = st.lists(
+    st.tuples(
+        st.text(min_size=1, max_size=24).map(lambda k: k.encode("utf-8")),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=1, max_value=2**16 - 1),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(groups=bulk_groups)
+def test_bulk_frame_round_trip(groups):
+    frame = wire.encode_bulk_binary(groups)
+    length = frame[0] | (frame[1] << 8)
+    assert length == len(frame) - 2
+    assert frame[2] == wire.OP_ACQUIRE_BULK
+    parsed = wire.parse_bulk_binary(frame[2:])
+    assert parsed == [
+        (raw.decode("utf-8"), bool(flags & wire.FLAG_USEFUL), count)
+        for raw, flags, count in groups
+    ]
+
+
+def test_bulk_frame_rejects_malformed_payloads():
+    good = wire.encode_bulk_binary([(b"key", 1, 3)])[2:]
+    with pytest.raises(ValueError):
+        wire.parse_bulk_binary(good[:1])  # opcode alone: empty frame
+    with pytest.raises(ValueError):
+        wire.parse_bulk_binary(good[:-1])  # truncated trailing count
+    with pytest.raises(ValueError):
+        wire.parse_bulk_binary(good[:4])  # truncated key bytes
+    with pytest.raises(ValueError):  # zero-request group
+        wire.parse_bulk_binary(wire.encode_bulk_binary([(b"key", 1, 0)])[2:])
+    with pytest.raises(ValueError):  # zero-length key
+        wire.parse_bulk_binary(bytes((wire.OP_ACQUIRE_BULK, 0, 0, 1, 1, 0)))
+    with pytest.raises(ValueError):  # over-long key
+        wire.parse_bulk_binary(
+            wire.encode_bulk_binary([(b"k" * (wire.MAX_KEY_LENGTH + 1), 1, 1)])[2:]
+        )
+    with pytest.raises(ValueError):  # the frame budget is enforced
+        wire.encode_bulk_binary([(b"k" * 200, 1, 1)] * 32)
+
+
+def test_run_frame_layout():
+    frame = wire.encode_run_binary("reactive", 3, 2, 5, 1.5)
+    assert len(frame) == wire.RUN_FRAME_SIZE
+    length, status, reason, admits, rejects, balance, retry = (
+        wire.RUN_STRUCT.unpack(frame)
+    )
+    assert length == wire.RUN_FRAME_SIZE - 2
+    assert status == wire.STATUS_RUN
+    assert reason == wire.REASON_CODES["reactive"]
+    assert (admits, rejects, balance, retry) == (3, 2, 5, 1.5)
+
+
+def test_worker_answers_bulk_group_with_one_run_frame():
+    async def scenario():
+        server = await _start_server()  # simple C=4, deterministic
+        reader, writer = await _binary_client(server.port)
+        writer.write(wire.encode_bulk_binary([(b"k", wire.FLAG_USEFUL, 6)]))
+        await writer.drain()
+        frame = await reader.readexactly(wire.RUN_FRAME_SIZE)
+        _, status, reason, admits, rejects, balance, retry = (
+            wire.RUN_STRUCT.unpack(frame)
+        )
+        assert status == wire.STATUS_RUN
+        assert reason == wire.REASON_CODES["reactive"]
+        # C=4 tokens pre-spend: a 4-admit prefix, 2 rejects at balance 0
+        assert (admits, rejects, balance) == (4, 2, 4)
+        assert retry > 0.0
+        # the limiter's counters saw all six requests
+        assert server.limiter.admitted == 4 and server.limiter.rejected == 2
+        writer.close()
+        await server.close()
+
+    _run(scenario())
+
+
+def test_worker_bulk_groups_interleave_with_plain_acquires_in_order():
+    async def scenario():
+        server = await _start_server()
+        reader, writer = await _binary_client(server.port)
+        # plain ACQUIRE, then a two-group bulk frame, then plain again:
+        # responses must come back in exactly that order
+        writer.write(
+            wire.encode_request_binary("a")
+            + wire.encode_bulk_binary(
+                [(b"a", wire.FLAG_USEFUL, 2), (b"b", wire.FLAG_USEFUL, 1)]
+            )
+            + wire.encode_request_binary("b")
+        )
+        await writer.drain()
+        first = await reader.readexactly(wire.DECISION_FRAME_SIZE)
+        assert first[2] == wire.STATUS_DECISION
+        run_a = await reader.readexactly(wire.RUN_FRAME_SIZE)
+        run_b = await reader.readexactly(wire.RUN_FRAME_SIZE)
+        last = await reader.readexactly(wire.DECISION_FRAME_SIZE)
+        a = wire.RUN_STRUCT.unpack(run_a)
+        b = wire.RUN_STRUCT.unpack(run_b)
+        # "a" spent one token before its group (balance 3 pre-spend)
+        assert (a[3], a[4], a[5]) == (2, 0, 3)
+        assert (b[3], b[4], b[5]) == (1, 0, 4)
+        decision = wire.decode_response_binary(last[2:], key="b")[1]
+        assert decision.admitted and decision.balance == 2
+        writer.close()
+        await server.close()
+
+    _run(scenario())
+
+
+def test_worker_answers_bulk_with_decisions_when_not_closed_form():
+    async def scenario():
+        # randomized strategies cannot promise an admit-prefix run, so
+        # the worker falls back to per-request DECISION frames
+        limiter = TokenAccountLimiter(
+            "randomized", spend_rate=3, capacity=6, period=60.0, seed=5
+        )
+        server = await AdmissionServer(limiter).start()
+        reader, writer = await _binary_client(server.port)
+        writer.write(wire.encode_bulk_binary([(b"k", wire.FLAG_USEFUL, 5)]))
+        await writer.drain()
+        frames = await _read_frames(reader, 5)
+        decided = [wire.decode_response_binary(f, key="k")[1] for f in frames]
+        assert len(decided) == 5
+        assert limiter.admitted + limiter.rejected == 5
+        writer.close()
+        await server.close()
+
+    _run(scenario())
+
+
+def test_worker_answers_malformed_bulk_with_error_frame():
+    async def scenario():
+        server = await _start_server()
+        reader, writer = await _binary_client(server.port)
+        # a zero-count group is invalid; the worker answers an ERROR
+        # frame and keeps serving
+        bogus = bytes((wire.OP_ACQUIRE_BULK, 1, 0, 1, ord("k"), 0, 0))
+        writer.write(
+            wire._LENGTH.pack(len(bogus)) + bogus
+            + wire.encode_request_binary("k")
+        )
+        await writer.drain()
+        frames = await _read_frames(reader, 2)
+        assert frames[0][0] == wire.STATUS_ERROR
+        assert frames[1][0] == wire.STATUS_DECISION
+        writer.close()
+        await server.close()
+
+    _run(scenario())
